@@ -1,0 +1,250 @@
+package nde_test
+
+// One benchmark per experiment of DESIGN.md §3. Each bench regenerates the
+// corresponding figure/table of the tutorial at a bench-friendly scale; run
+// `go test -bench=. -benchmem` to produce all series, or cmd/nde-figures
+// for the full-size human-readable tables.
+
+import (
+	"testing"
+
+	"nde"
+	"nde/internal/exp"
+	"nde/internal/importance"
+	"nde/internal/ml"
+)
+
+func BenchmarkE1Figure2KNNShapleyCleaning(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.E1Figure2(200, 42); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE2Figure3DatascopePipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.E2Figure3(300, 43); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE3Figure4ZorroCurve(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.E3Figure4(120, 44); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE4Figure1QualityMetrics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.E4Figure1(200, 45); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE5ImportanceMethodComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.E5MethodComparison(100, 46); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE6ShapleyScalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.E6Scalability(47); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE7IterativeCleaningStrategies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.E7CleaningStrategies(150, 48); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE8CertainPredictions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.E8CertainPredictions(100, 49); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE9ChallengeLeaderboard(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.E9Challenge(150, 50); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE10PipelineScreening(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.E10PipelineScreening(150, 51); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE11ZorroVsImputation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.E11ZorroVsImputation(100, 52); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE12GopherFairness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.E12GopherFairness(120, 53); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE13Unlearning(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.E13Unlearning(150, 61); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE14Amortization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.E14Amortization(150, 62); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE15RAGImportance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.E15RAGImportance(63); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE16WhatIfOptimization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.E16WhatIfOptimization(200, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE17DatascopeAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.E17DatascopeAblation(200, 65); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE18DetectionBenchmark(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.E18DetectionBenchmark(200, 66); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- micro-benchmarks and ablations on the core primitives ---
+
+func benchDataset(b *testing.B, n int) (*ml.Dataset, *ml.Dataset) {
+	b.Helper()
+	s := nde.LoadRecommendationLetters(n, 7)
+	dTrain, dValid, _, err := nde.FeaturizeLetterSplits(s.Train, s.Valid, s.Test)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return dTrain, dValid
+}
+
+// Ablation: the kNN proxy's exact Shapley vs. Monte-Carlo retraining at the
+// same training size — quantifies the cost of skipping the closed form.
+func BenchmarkAblationKNNShapleyClosedForm(b *testing.B) {
+	train, valid := benchDataset(b, 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := importance.KNNShapley(5, train, valid); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationTMCShapley10Perms(b *testing.B) {
+	train, valid := benchDataset(b, 200)
+	u := importance.AccuracyUtility(func() ml.Classifier { return ml.NewKNN(5) }, train, valid)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := importance.MCShapleyConfig{Permutations: 10, Seed: int64(i), Truncation: 0.01}
+		if _, err := importance.MCShapley(train.Len(), u, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation: TMC truncation threshold sweep — larger thresholds cut more
+// utility evaluations at some accuracy cost.
+func BenchmarkAblationTMCTruncation(b *testing.B) {
+	train, valid := benchDataset(b, 120)
+	u := importance.AccuracyUtility(func() ml.Classifier { return ml.NewKNN(5) }, train, valid)
+	for _, tol := range []float64{0, 0.01, 0.05} {
+		name := "tol0"
+		switch tol {
+		case 0.01:
+			name = "tol0.01"
+		case 0.05:
+			name = "tol0.05"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := importance.MCShapleyConfig{Permutations: 5, Seed: int64(i), Truncation: tol}
+				if _, err := importance.MCShapley(train.Len(), u, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSelfConfidenceScores(b *testing.B) {
+	train, _ := benchDataset(b, 300)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := importance.SelfConfidence(train, importance.NoiseConfig{Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInfluenceFunctions(b *testing.B) {
+	train, valid := benchDataset(b, 300)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := importance.Influence(train, valid, importance.InfluenceConfig{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHiringPipelineRun(b *testing.B) {
+	s := nde.LoadRecommendationLetters(500, 9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hp := nde.BuildHiringPipeline(s.Train, s.Data.Jobs, s.Data.Social)
+		if _, err := hp.WithProvenance(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+// Command nde-challenge runs the §3.2 data-debugging challenge either with
+// scripted contestants (the default) or interactively: the player reads the
+// dirty training data, submits row ids to the cleaning oracle, and watches
+// the hidden-test score move on the leaderboard.
+//
+// Usage:
+//
+//	nde-challenge [-n 300] [-seed 42] [-budget 30] [-interactive]
+//
+// Interactive commands (stdin):
+//
+//	hint           print the 10 most suspicious rows by kNN-Shapley
+//	submit 3 17 42 clean the listed rows and score
+//	board          print the leaderboard
+//	quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"nde"
+	"nde/internal/challenge"
+	"nde/internal/datagen"
+	"nde/internal/exp"
+	"nde/internal/importance"
+)
+
+func main() {
+	n := flag.Int("n", 300, "scenario size")
+	seed := flag.Int64("seed", 42, "random seed")
+	budget := flag.Int("budget", 30, "oracle repair budget")
+	interactive := flag.Bool("interactive", false, "play on stdin instead of running scripted contestants")
+	flag.Parse()
+
+	if !*interactive {
+		r, err := exp.E9Challenge(*n, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nde-challenge:", err)
+			os.Exit(1)
+		}
+		fmt.Println(r.Table)
+		fmt.Println(r.Leaderboard)
+		return
+	}
+
+	s := nde.LoadRecommendationLetters(*n, *seed)
+	dTrain, dValid, dTest, err := nde.FeaturizeLetterSplits(s.Train, s.Valid, s.Test)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nde-challenge:", err)
+		os.Exit(1)
+	}
+	truth := append([]int(nil), dTrain.Y...)
+	dirty, corrupted, err := datagen.FlipDatasetLabels(dTrain, 0.2, *seed+2)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nde-challenge:", err)
+		os.Exit(1)
+	}
+	c, err := challenge.New(dirty, truth, dValid, dTest, nil, *budget)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nde-challenge:", err)
+		os.Exit(1)
+	}
+	base, err := c.BaselineScore()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nde-challenge:", err)
+		os.Exit(1)
+	}
+	var lb challenge.Leaderboard
+	fmt.Printf("data-debugging challenge: %d training rows, %d hidden errors, budget %d\n",
+		dirty.Len(), len(corrupted), *budget)
+	fmt.Printf("baseline hidden-test accuracy: %.4f\n", base)
+	fmt.Println("commands: hint | submit <ids...> | board | quit")
+
+	sc := bufio.NewScanner(os.Stdin)
+	for fmt.Print("> "); sc.Scan(); fmt.Print("> ") {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "hint":
+			scores, err := importance.KNNShapley(5, c.Train(), c.Valid())
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Println("most suspicious rows:", scores.BottomK(10))
+		case "submit":
+			var rows []int
+			ok := true
+			for _, f := range fields[1:] {
+				v, err := strconv.Atoi(f)
+				if err != nil {
+					fmt.Println("error: bad id", f)
+					ok = false
+					break
+				}
+				rows = append(rows, v)
+			}
+			if !ok || len(rows) == 0 {
+				continue
+			}
+			score, err := c.Submit(rows)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Printf("hidden-test accuracy: %.4f (budget left %d)\n", score, c.BudgetLeft())
+			lb.Submit(challenge.Entry{Name: "you", Score: score, Repairs: len(rows), Baseline: base})
+		case "board":
+			fmt.Println(lb.String())
+		case "quit", "exit":
+			return
+		default:
+			fmt.Println("unknown command:", fields[0])
+		}
+	}
+}

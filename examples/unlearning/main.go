@@ -1,0 +1,93 @@
+// Unlearning: debugging meets the right to be forgotten (§2.4).
+//
+// Data debugging repeatedly asks "what if these points were removed?" —
+// the same primitive that GDPR-style deletion requests need at low latency.
+// This example identifies the most harmful training points with
+// kNN-Shapley, forgets them *without retraining* via influence-style
+// unlearning, and verifies the unlearned model matches exact retraining.
+// It also shows the bagging certified radius: how many training-set edits a
+// random-forest prediction provably survives.
+//
+// Run with: go run ./examples/unlearning
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"nde"
+	"nde/internal/datagen"
+	"nde/internal/importance"
+	"nde/internal/ml"
+)
+
+func main() {
+	scenario := nde.LoadRecommendationLetters(300, 42)
+	train, valid, test, err := nde.FeaturizeLetterSplits(scenario.Train, scenario.Valid, scenario.Test)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dirty, _, err := datagen.FlipDatasetLabels(train, 0.1, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. identify the most harmful points
+	scores, err := importance.KNNShapley(5, dirty, valid)
+	if err != nil {
+		log.Fatal(err)
+	}
+	harmful := scores.BottomK(15)
+	fmt.Printf("15 most harmful training points: %v\n\n", harmful)
+
+	// 2. forget them via influence-style unlearning
+	model := ml.NewUnlearnableLogReg()
+	if err := model.Fit(dirty); err != nil {
+		log.Fatal(err)
+	}
+	accBefore := ml.Accuracy(test.Y, ml.PredictAll(model, test))
+
+	start := time.Now()
+	if err := model.Unlearn(harmful); err != nil {
+		log.Fatal(err)
+	}
+	unlearnTime := time.Since(start)
+	accAfter := ml.Accuracy(test.Y, ml.PredictAll(model, test))
+	fmt.Printf("unlearning %d points took %v (retrains triggered: %d)\n",
+		len(harmful), unlearnTime.Round(time.Microsecond), model.Retrains())
+	fmt.Printf("test accuracy: %.3f -> %.3f\n\n", accBefore, accAfter)
+
+	// 3. verify against exact retraining
+	rm := make(map[int]bool, len(harmful))
+	for _, i := range harmful {
+		rm[i] = true
+	}
+	rest, _ := dirty.Without(rm)
+	fresh := ml.NewUnlearnableLogReg()
+	start = time.Now()
+	if err := fresh.Fit(rest); err != nil {
+		log.Fatal(err)
+	}
+	retrainTime := time.Since(start)
+	agree := 0
+	for i := 0; i < test.Len(); i++ {
+		if model.Predict(test.Row(i)) == fresh.Predict(test.Row(i)) {
+			agree++
+		}
+	}
+	fmt.Printf("exact retraining took %v; unlearned model agrees on %d/%d test predictions\n\n",
+		retrainTime.Round(time.Microsecond), agree, test.Len())
+
+	// 4. certified robustness via bagging
+	forest := ml.NewRandomForest(21, 3)
+	if err := forest.Fit(rest); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("bagging certified radii for the first 5 test points")
+	fmt.Println("(the prediction provably survives this many flipped trees):")
+	for i := 0; i < 5 && i < test.Len(); i++ {
+		fmt.Printf("  test %d: prediction %d, certified radius %d\n",
+			i, forest.Predict(test.Row(i)), forest.CertifiedRadius(test.Row(i)))
+	}
+}

@@ -1,0 +1,3 @@
+module nde
+
+go 1.22

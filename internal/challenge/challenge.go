@@ -1,0 +1,141 @@
+// Package challenge implements the tutorial's §3.2 data-debugging
+// challenge: contestants see a dirty training set and a validation set,
+// and may submit limited batches of row ids to a cleaning oracle. The
+// oracle repairs those rows, retrains the hidden classifier, and reports
+// the score on a hidden test set. A leaderboard ranks submissions — the
+// DataPerf-style protocol for benchmarking data-centric debugging skill.
+package challenge
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nde/internal/ml"
+)
+
+// Challenge is one instance of the debugging game. Construct it with New;
+// the contestant-facing accessors never reveal the hidden state.
+type Challenge struct {
+	dirty      *ml.Dataset
+	truth      []int
+	valid      *ml.Dataset
+	hiddenTest *ml.Dataset
+	newModel   func() ml.Classifier
+	budget     int
+
+	cleaned map[int]bool
+	used    int
+}
+
+// New builds a challenge. dirty is the visible corrupted training set,
+// truth its hidden correct labels, valid the visible validation set,
+// hiddenTest the hidden scoring set, and budget the total number of rows
+// the oracle will repair across all submissions.
+func New(dirty *ml.Dataset, truth []int, valid, hiddenTest *ml.Dataset, newModel func() ml.Classifier, budget int) (*Challenge, error) {
+	if len(truth) != dirty.Len() {
+		return nil, fmt.Errorf("challenge: %d truths for %d rows", len(truth), dirty.Len())
+	}
+	if budget <= 0 {
+		return nil, fmt.Errorf("challenge: budget must be positive, got %d", budget)
+	}
+	if newModel == nil {
+		newModel = func() ml.Classifier { return ml.NewKNN(5) }
+	}
+	return &Challenge{
+		dirty:      dirty.Clone(),
+		truth:      append([]int(nil), truth...),
+		valid:      valid,
+		hiddenTest: hiddenTest,
+		newModel:   newModel,
+		budget:     budget,
+		cleaned:    make(map[int]bool),
+	}, nil
+}
+
+// Train returns the contestant-visible training data in its current
+// (partially cleaned) state.
+func (c *Challenge) Train() *ml.Dataset { return c.dirty.Clone() }
+
+// Valid returns the contestant-visible validation set.
+func (c *Challenge) Valid() *ml.Dataset { return c.valid }
+
+// BudgetLeft returns the remaining oracle repairs.
+func (c *Challenge) BudgetLeft() int { return c.budget - c.used }
+
+// BaselineScore retrains on the current training state and returns the
+// hidden-test accuracy without spending any budget.
+func (c *Challenge) BaselineScore() (float64, error) {
+	return ml.EvaluateAccuracy(c.newModel(), c.dirty, c.hiddenTest)
+}
+
+// Submit hands row ids to the cleaning oracle. Already-cleaned ids are
+// free; new ids consume budget. The oracle repairs the labels, retrains,
+// and returns the hidden-test accuracy.
+func (c *Challenge) Submit(rows []int) (float64, error) {
+	var fresh []int
+	for _, r := range rows {
+		if r < 0 || r >= c.dirty.Len() {
+			return 0, fmt.Errorf("challenge: row %d out of range [0,%d)", r, c.dirty.Len())
+		}
+		if !c.cleaned[r] {
+			fresh = append(fresh, r)
+		}
+	}
+	if len(fresh) > c.BudgetLeft() {
+		return 0, fmt.Errorf("challenge: %d new repairs exceed remaining budget %d", len(fresh), c.BudgetLeft())
+	}
+	for _, r := range fresh {
+		c.dirty.Y[r] = c.truth[r]
+		c.cleaned[r] = true
+	}
+	c.used += len(fresh)
+	return ml.EvaluateAccuracy(c.newModel(), c.dirty, c.hiddenTest)
+}
+
+// Entry is one leaderboard record.
+type Entry struct {
+	Name     string
+	Score    float64
+	Repairs  int
+	Baseline float64
+}
+
+// Gain returns the improvement over the entry's baseline.
+func (e Entry) Gain() float64 { return e.Score - e.Baseline }
+
+// Leaderboard ranks submissions by score (ties by fewer repairs, then name).
+type Leaderboard struct {
+	entries []Entry
+}
+
+// Submit records an entry.
+func (l *Leaderboard) Submit(e Entry) { l.entries = append(l.entries, e) }
+
+// Top returns the best k entries.
+func (l *Leaderboard) Top(k int) []Entry {
+	sorted := append([]Entry(nil), l.entries...)
+	sort.SliceStable(sorted, func(a, b int) bool {
+		if sorted[a].Score != sorted[b].Score {
+			return sorted[a].Score > sorted[b].Score
+		}
+		if sorted[a].Repairs != sorted[b].Repairs {
+			return sorted[a].Repairs < sorted[b].Repairs
+		}
+		return sorted[a].Name < sorted[b].Name
+	})
+	if k > len(sorted) {
+		k = len(sorted)
+	}
+	return sorted[:k]
+}
+
+// String renders the leaderboard as an aligned table.
+func (l *Leaderboard) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-4s %-20s %8s %8s %8s\n", "#", "name", "score", "gain", "repairs")
+	for i, e := range l.Top(len(l.entries)) {
+		fmt.Fprintf(&b, "%-4d %-20s %8.4f %+8.4f %8d\n", i+1, e.Name, e.Score, e.Gain(), e.Repairs)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}

@@ -1,0 +1,162 @@
+package challenge
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"nde/internal/datagen"
+	"nde/internal/importance"
+	"nde/internal/linalg"
+	"nde/internal/ml"
+)
+
+func blobs(n int, sep float64, seed int64) *ml.Dataset {
+	r := rand.New(rand.NewSource(seed))
+	x := linalg.NewMatrix(n, 2)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		c := i % 2
+		y[i] = c
+		sign := float64(2*c - 1)
+		x.Set(i, 0, sign*sep+r.NormFloat64())
+		x.Set(i, 1, sign*sep+r.NormFloat64())
+	}
+	d, _ := ml.NewDataset(x, y)
+	return d
+}
+
+func newChallenge(t *testing.T, budget int) (*Challenge, map[int]bool) {
+	t.Helper()
+	clean := blobs(150, 2.2, 201)
+	valid := blobs(70, 2.2, 202)
+	hidden := blobs(70, 2.2, 203)
+	dirty, corrupted, err := datagen.FlipDatasetLabels(clean, 0.15, 204)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(dirty, clean.Y, valid, hidden, nil, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, corrupted
+}
+
+func TestChallengeLifecycle(t *testing.T) {
+	c, corrupted := newChallenge(t, 25)
+	if c.BudgetLeft() != 25 {
+		t.Fatalf("budget = %d", c.BudgetLeft())
+	}
+	base, err := c.BaselineScore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// informed submission: clean actual corrupted rows
+	var rows []int
+	for i := range corrupted {
+		if len(rows) == 20 {
+			break
+		}
+		rows = append(rows, i)
+	}
+	score, err := c.Submit(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score < base {
+		t.Errorf("cleaning corrupted rows decreased score: %v -> %v", base, score)
+	}
+	if c.BudgetLeft() != 25-len(rows) {
+		t.Errorf("budget left = %d", c.BudgetLeft())
+	}
+	// resubmitting the same rows is free
+	if _, err := c.Submit(rows); err != nil {
+		t.Fatal(err)
+	}
+	if c.BudgetLeft() != 25-len(rows) {
+		t.Error("resubmission consumed budget")
+	}
+}
+
+func TestChallengeBudgetEnforced(t *testing.T) {
+	c, _ := newChallenge(t, 5)
+	if _, err := c.Submit([]int{0, 1, 2, 3, 4, 5}); err == nil {
+		t.Error("expected budget error")
+	}
+	if _, err := c.Submit([]int{999}); err == nil {
+		t.Error("expected range error")
+	}
+	if _, err := New(blobs(10, 1, 1), []int{0}, nil, nil, nil, 5); err == nil {
+		t.Error("expected truth length error")
+	}
+	if _, err := New(blobs(10, 1, 1), make([]int, 10), nil, nil, nil, 0); err == nil {
+		t.Error("expected budget error")
+	}
+}
+
+func TestChallengeTrainDoesNotLeakInternals(t *testing.T) {
+	c, _ := newChallenge(t, 10)
+	v := c.Train()
+	v.Y[0] = 99
+	v2 := c.Train()
+	if v2.Y[0] == 99 {
+		t.Error("Train() exposed internal state")
+	}
+}
+
+func TestInformedStrategyBeatsRandomOnLeaderboard(t *testing.T) {
+	var lb Leaderboard
+	budget := 22
+
+	play := func(name string, pick func(c *Challenge) []int) Entry {
+		c, _ := newChallenge(t, budget)
+		base, err := c.BaselineScore()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows := pick(c)
+		score, err := c.Submit(rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := Entry{Name: name, Score: score, Repairs: len(rows), Baseline: base}
+		lb.Submit(e)
+		return e
+	}
+
+	random := play("random", func(c *Challenge) []int {
+		return rand.New(rand.NewSource(1)).Perm(c.Train().Len())[:budget]
+	})
+	shapley := play("knn-shapley", func(c *Challenge) []int {
+		scores, err := importance.KNNShapley(5, c.Train(), c.Valid())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return scores.BottomK(budget)
+	})
+	if shapley.Score < random.Score {
+		t.Errorf("shapley %v < random %v", shapley.Score, random.Score)
+	}
+	top := lb.Top(1)
+	if len(top) != 1 || top[0].Name != "knn-shapley" {
+		t.Errorf("leaderboard top = %v", top)
+	}
+	out := lb.String()
+	if !strings.Contains(out, "knn-shapley") || !strings.Contains(out, "random") {
+		t.Errorf("leaderboard render:\n%s", out)
+	}
+}
+
+func TestLeaderboardTieBreaks(t *testing.T) {
+	var lb Leaderboard
+	lb.Submit(Entry{Name: "b", Score: 0.9, Repairs: 10})
+	lb.Submit(Entry{Name: "a", Score: 0.9, Repairs: 10})
+	lb.Submit(Entry{Name: "c", Score: 0.9, Repairs: 5})
+	top := lb.Top(3)
+	if top[0].Name != "c" || top[1].Name != "a" || top[2].Name != "b" {
+		t.Errorf("tie-break order wrong: %v", top)
+	}
+	if got := lb.Top(99); len(got) != 3 {
+		t.Error("Top should clamp")
+	}
+}

@@ -1,0 +1,59 @@
+package cleaning
+
+import (
+	"math"
+	"sort"
+
+	"nde/internal/linalg"
+	"nde/internal/ml"
+)
+
+// GradientStrategy implements ActiveClean-style prioritization (Krishnan et
+// al., VLDB 2016): for a convex model trained on the current (partially
+// dirty) data, records with the largest loss-gradient magnitude are the
+// ones whose cleaning moves the model most, so they are cleaned first.
+// The strategy fits a logistic model and ranks by descending per-example
+// gradient norm.
+type GradientStrategy struct {
+	L2     float64 // ridge penalty of the probe model (default 1e-3)
+	Epochs int     // probe training epochs (default 200)
+}
+
+// Name returns "activeclean-gradient".
+func (s *GradientStrategy) Name() string { return "activeclean-gradient" }
+
+// Rank fits the probe model and orders examples by descending gradient
+// norm (most model-moving first).
+func (s *GradientStrategy) Rank(train, valid *ml.Dataset) ([]int, error) {
+	l2 := s.L2
+	if l2 <= 0 {
+		l2 = 1e-3
+	}
+	epochs := s.Epochs
+	if epochs <= 0 {
+		epochs = 200
+	}
+	m := &ml.LogisticRegression{LR: 0.5, Epochs: epochs, L2: l2}
+	if err := m.Fit(train); err != nil {
+		return nil, err
+	}
+	w, b := m.Weights(), m.Intercept()
+	norms := make([]float64, train.Len())
+	for i := 0; i < train.Len(); i++ {
+		x := train.Row(i)
+		p := ml.Sigmoid(linalg.Dot(w, x) + b)
+		residual := p - float64(train.Y[i])
+		// ‖∇ℓ_i‖ = |residual| · ‖[x;1]‖
+		xn := 1.0
+		for _, v := range x {
+			xn += v * v
+		}
+		norms[i] = math.Abs(residual) * math.Sqrt(xn)
+	}
+	order := make([]int, train.Len())
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return norms[order[a]] > norms[order[b]] })
+	return order, nil
+}

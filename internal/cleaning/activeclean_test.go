@@ -1,0 +1,142 @@
+package cleaning
+
+import (
+	"testing"
+
+	"nde/internal/datagen"
+	"nde/internal/ml"
+)
+
+func TestGradientStrategyRanksCorruptedFirst(t *testing.T) {
+	dirty, valid, _, _, corrupted := dirtySetup(t, 120)
+	s := &GradientStrategy{}
+	if s.Name() != "activeclean-gradient" {
+		t.Errorf("name = %q", s.Name())
+	}
+	order, err := s.Rank(dirty, valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != dirty.Len() {
+		t.Fatalf("rank length = %d", len(order))
+	}
+	k := len(corrupted)
+	hits := 0
+	for _, i := range order[:k] {
+		if corrupted[i] {
+			hits++
+		}
+	}
+	prec := float64(hits) / float64(k)
+	if prec < 0.5 {
+		t.Errorf("gradient precision@%d = %v, want >= 0.5", k, prec)
+	}
+}
+
+func TestGradientStrategyInIterativeLoop(t *testing.T) {
+	dirty, valid, test, truth, corrupted := dirtySetup(t, 100)
+	oracle := &LabelOracle{Truth: truth}
+	res, err := IterativeClean(dirty, valid, test, oracle, &GradientStrategy{},
+		func() ml.Classifier { return ml.NewKNN(5) }, 5, len(corrupted))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := res.Curve[0].Accuracy
+	last := res.Curve[len(res.Curve)-1].Accuracy
+	if last < first {
+		t.Errorf("activeclean loop decreased accuracy: %v -> %v", first, last)
+	}
+}
+
+func TestSimilarPairsAndViolations(t *testing.T) {
+	d := blobs(30, 2, 901)
+	pairs := SimilarPairs(d, 1.0)
+	if len(pairs) == 0 {
+		t.Fatal("no similar pairs found")
+	}
+	for _, p := range pairs {
+		if ml.EuclideanDistance(d.Row(p.I), d.Row(p.J)) > 1.0 {
+			t.Fatal("pair beyond epsilon")
+		}
+		if p.I >= p.J {
+			t.Fatal("pair ordering wrong")
+		}
+	}
+	v := CountViolations(d.Y, pairs)
+	if v < 0 || v > len(pairs) {
+		t.Fatalf("violations = %d of %d pairs", v, len(pairs))
+	}
+}
+
+func TestIFlipperReducesViolations(t *testing.T) {
+	// inject label noise so similar pairs disagree
+	clean := blobs(60, 2, 902)
+	dirty, _, err := datagen.FlipDatasetLabels(clean, 0.2, 903)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := SimilarPairs(dirty, 1.2)
+	before := CountViolations(dirty.Y, pairs)
+	if before == 0 {
+		t.Skip("fixture produced no violations")
+	}
+	res, err := IFlipper(dirty, pairs, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ViolationsAfter >= res.ViolationsBefore {
+		t.Errorf("violations %d -> %d", res.ViolationsBefore, res.ViolationsAfter)
+	}
+	if CountViolations(res.Labels, pairs) != res.ViolationsAfter {
+		t.Error("reported violations inconsistent with labels")
+	}
+	// input labels untouched
+	same := 0
+	for i := range dirty.Y {
+		if dirty.Y[i] == clean.Y[i] {
+			same++
+		}
+	}
+	if same == len(dirty.Y) {
+		t.Error("fixture unexpectedly clean")
+	}
+	// flipping toward consistency should also repair many of the injected
+	// errors (noisy labels are exactly the locally inconsistent ones)
+	repaired := 0
+	for i := range res.Labels {
+		if res.Labels[i] == clean.Y[i] {
+			repaired++
+		}
+	}
+	if repaired <= same {
+		t.Errorf("iFlipper did not move labels toward ground truth: %d -> %d", same, repaired)
+	}
+}
+
+func TestIFlipperBudgetAndTarget(t *testing.T) {
+	clean := blobs(40, 2, 904)
+	dirty, _, err := datagen.FlipDatasetLabels(clean, 0.25, 905)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := SimilarPairs(dirty, 1.2)
+	res, err := IFlipper(dirty, pairs, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Flipped) > 2 {
+		t.Errorf("budget exceeded: %d flips", len(res.Flipped))
+	}
+	if _, err := IFlipper(dirty, pairs, -1, 0); err == nil {
+		t.Error("expected error for negative target")
+	}
+	// target equal to current violations: no flips needed
+	cur := CountViolations(dirty.Y, pairs)
+	res, err = IFlipper(dirty, pairs, cur, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Flipped) != 0 {
+		t.Errorf("flips despite satisfied target: %v", res.Flipped)
+	}
+}

@@ -1,0 +1,247 @@
+package cleaning
+
+import (
+	"math/rand"
+	"testing"
+
+	"nde/internal/datagen"
+	"nde/internal/linalg"
+	"nde/internal/ml"
+)
+
+func blobs(n int, sep float64, seed int64) *ml.Dataset {
+	r := rand.New(rand.NewSource(seed))
+	x := linalg.NewMatrix(n, 2)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		c := i % 2
+		y[i] = c
+		sign := float64(2*c - 1)
+		x.Set(i, 0, sign*sep+r.NormFloat64())
+		x.Set(i, 1, sign*sep+r.NormFloat64())
+	}
+	d, _ := ml.NewDataset(x, y)
+	return d
+}
+
+func dirtySetup(t *testing.T, n int) (dirty, valid, test *ml.Dataset, truth []int, corrupted map[int]bool) {
+	t.Helper()
+	clean := blobs(n, 2.5, 101)
+	valid = blobs(n/2, 2.5, 102)
+	test = blobs(n/2, 2.5, 103)
+	var err error
+	dirty, corrupted, err = datagen.FlipDatasetLabels(clean, 0.15, 104)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dirty, valid, test, clean.Y, corrupted
+}
+
+func TestLabelOracle(t *testing.T) {
+	dirty, _, _, truth, corrupted := dirtySetup(t, 40)
+	oracle := &LabelOracle{Truth: truth}
+	var rows []int
+	for i := range corrupted {
+		rows = append(rows, i)
+	}
+	cleaned, err := oracle.Clean(dirty, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range rows {
+		if cleaned.Y[i] != truth[i] {
+			t.Errorf("row %d not repaired", i)
+		}
+		if dirty.Y[i] == truth[i] {
+			t.Errorf("fixture row %d was not corrupted", i)
+		}
+	}
+	// input not mutated
+	for _, i := range rows {
+		if dirty.Y[i] == truth[i] {
+			t.Error("oracle mutated its input")
+		}
+	}
+	if _, err := oracle.Clean(dirty, []int{-1}); err == nil {
+		t.Error("expected error for out-of-range row")
+	}
+	short := &LabelOracle{Truth: []int{0}}
+	if _, err := short.Clean(dirty, nil); err == nil {
+		t.Error("expected error for truth length mismatch")
+	}
+}
+
+func TestStrategiesRankCorruptedFirst(t *testing.T) {
+	dirty, valid, _, _, corrupted := dirtySetup(t, 100)
+	k := len(corrupted)
+	strategies := []Strategy{
+		&KNNShapleyStrategy{K: 5},
+		&NoiseStrategy{Seed: 1},
+		&InfluenceStrategy{},
+	}
+	for _, s := range strategies {
+		order, err := s.Rank(dirty, valid)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if len(order) != dirty.Len() {
+			t.Fatalf("%s: rank length %d", s.Name(), len(order))
+		}
+		hits := 0
+		for _, i := range order[:k] {
+			if corrupted[i] {
+				hits++
+			}
+		}
+		prec := float64(hits) / float64(k)
+		if prec < 0.6 {
+			t.Errorf("%s: precision@%d = %v, want >= 0.6", s.Name(), k, prec)
+		}
+	}
+}
+
+func TestRandomStrategyIsPermutation(t *testing.T) {
+	dirty, valid, _, _, _ := dirtySetup(t, 30)
+	order, err := (&RandomStrategy{Seed: 7}).Rank(dirty, valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]bool)
+	for _, i := range order {
+		if seen[i] {
+			t.Fatal("duplicate index in random ranking")
+		}
+		seen[i] = true
+	}
+	if len(seen) != 30 {
+		t.Error("random ranking incomplete")
+	}
+}
+
+func TestIterativeCleanRecoversAccuracy(t *testing.T) {
+	dirty, valid, test, truth, corrupted := dirtySetup(t, 100)
+	oracle := &LabelOracle{Truth: truth}
+	newModel := func() ml.Classifier { return ml.NewKNN(5) }
+	res, err := IterativeClean(dirty, valid, test, oracle, &KNNShapleyStrategy{K: 5}, newModel, 5, len(corrupted))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := res.Curve[0].Accuracy
+	last := res.Curve[len(res.Curve)-1].Accuracy
+	if last <= first {
+		t.Errorf("cleaning did not improve accuracy: %v -> %v", first, last)
+	}
+	if res.Curve[len(res.Curve)-1].Cleaned != len(corrupted) {
+		t.Errorf("budget not exhausted: cleaned %d of %d", res.Curve[len(res.Curve)-1].Cleaned, len(corrupted))
+	}
+	if res.Strategy != "knn-shapley" {
+		t.Errorf("strategy name = %q", res.Strategy)
+	}
+	// final dataset should have most corrupted labels repaired
+	repaired := 0
+	for i := range corrupted {
+		if res.Final.Y[i] == truth[i] {
+			repaired++
+		}
+	}
+	if repaired < len(corrupted)/2 {
+		t.Errorf("only %d of %d corrupted rows repaired", repaired, len(corrupted))
+	}
+}
+
+func TestIterativeCleanBudgetRespected(t *testing.T) {
+	dirty, valid, test, truth, _ := dirtySetup(t, 60)
+	oracle := &LabelOracle{Truth: truth}
+	newModel := func() ml.Classifier { return ml.NewKNN(3) }
+	res, err := IterativeClean(dirty, valid, test, oracle, &RandomStrategy{Seed: 3}, newModel, 4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastCleaned := res.Curve[len(res.Curve)-1].Cleaned
+	if lastCleaned != 10 {
+		t.Errorf("cleaned %d, budget 10", lastCleaned)
+	}
+	if _, err := IterativeClean(dirty, valid, test, oracle, &RandomStrategy{}, newModel, 0, 5); err == nil {
+		t.Error("expected error for batch=0")
+	}
+	if _, err := IterativeClean(dirty, valid, test, oracle, &RandomStrategy{}, newModel, 1, -1); err == nil {
+		t.Error("expected error for negative budget")
+	}
+}
+
+func TestCompareStrategiesImportanceBeatsRandom(t *testing.T) {
+	// harder setting than dirtySetup: closer blobs and heavy noise, so the
+	// cleaning curves cannot saturate immediately; single runs are noisy,
+	// so the dominance claim is checked on the mean AUC over seeds
+	newModel := func() ml.Classifier { return ml.NewKNN(5) }
+	var aucRandom, aucShapley float64
+	for _, seed := range []int64{111, 222, 333} {
+		clean := blobs(120, 1.8, seed)
+		valid := blobs(60, 1.8, seed+1)
+		test := blobs(60, 1.8, seed+2)
+		dirty, corrupted, err := datagen.FlipDatasetLabels(clean, 0.25, seed+3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle := &LabelOracle{Truth: clean.Y}
+		results, err := CompareStrategies(dirty, valid, test, oracle,
+			[]Strategy{&RandomStrategy{Seed: seed}, &KNNShapleyStrategy{K: 5}},
+			newModel, 6, len(corrupted))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(results) != 2 {
+			t.Fatalf("results = %d", len(results))
+		}
+		aucRandom += AreaUnderCurve(results[0].Curve)
+		aucShapley += AreaUnderCurve(results[1].Curve)
+	}
+	if aucShapley <= aucRandom {
+		t.Errorf("mean shapley AUC %v <= mean random AUC %v", aucShapley/3, aucRandom/3)
+	}
+}
+
+func TestAreaUnderCurve(t *testing.T) {
+	curve := []CurvePoint{{0, 0.5}, {10, 0.7}, {20, 0.9}}
+	// trapezoids: 10*(0.6) + 10*(0.8) = 14; /20 = 0.7
+	if got := AreaUnderCurve(curve); got != 0.7 {
+		t.Errorf("AUC = %v", got)
+	}
+	if AreaUnderCurve(nil) != 0 {
+		t.Error("empty AUC should be 0")
+	}
+	if AreaUnderCurve([]CurvePoint{{0, 0.4}}) != 0.4 {
+		t.Error("single-point AUC should be its accuracy")
+	}
+}
+
+func TestStrategyNamesAndLOO(t *testing.T) {
+	names := map[Strategy]string{
+		&RandomStrategy{}:     "random",
+		&KNNShapleyStrategy{}: "knn-shapley",
+		&LOOStrategy{}:        "loo",
+		&NoiseStrategy{}:      "noise-score",
+		&InfluenceStrategy{}:  "influence",
+	}
+	for s, want := range names {
+		if s.Name() != want {
+			t.Errorf("Name() = %q, want %q", s.Name(), want)
+		}
+	}
+	// LOO ranking runs end to end on a small set
+	dirty, valid, _, _, _ := dirtySetup(t, 24)
+	order, err := (&LOOStrategy{}).Rank(dirty, valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 24 {
+		t.Errorf("LOO rank length = %d", len(order))
+	}
+	seen := make(map[int]bool)
+	for _, i := range order {
+		if seen[i] {
+			t.Fatal("duplicate in LOO ranking")
+		}
+		seen[i] = true
+	}
+}

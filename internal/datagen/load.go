@@ -1,0 +1,88 @@
+package datagen
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"nde/internal/frame"
+)
+
+// LoadHiringCSV reads a scenario previously written as CSV files (the
+// format emitted by cmd/nde-datagen): letters.csv, jobs.csv, social.csv and
+// demographics.csv in one directory.
+func LoadHiringCSV(dir string) (*HiringData, error) {
+	read := func(name string) (*frame.Frame, error) {
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("datagen: %w", err)
+		}
+		defer f.Close()
+		fr, err := frame.ReadCSV(f)
+		if err != nil {
+			return nil, fmt.Errorf("datagen: %s: %w", name, err)
+		}
+		return fr, nil
+	}
+	letters, err := read("letters.csv")
+	if err != nil {
+		return nil, err
+	}
+	jobs, err := read("jobs.csv")
+	if err != nil {
+		return nil, err
+	}
+	social, err := read("social.csv")
+	if err != nil {
+		return nil, err
+	}
+	demographics, err := read("demographics.csv")
+	if err != nil {
+		return nil, err
+	}
+	for _, check := range []struct {
+		name string
+		f    *frame.Frame
+		cols []string
+	}{
+		{"letters.csv", letters, []string{"person_id", "job_id", "letter_text", "sentiment"}},
+		{"jobs.csv", jobs, []string{"job_id", "sector"}},
+		{"social.csv", social, []string{"person_id"}},
+		{"demographics.csv", demographics, []string{"person_id", "sex"}},
+	} {
+		for _, col := range check.cols {
+			if !check.f.HasColumn(col) {
+				return nil, fmt.Errorf("datagen: %s is missing column %q", check.name, col)
+			}
+		}
+	}
+	return &HiringData{Letters: letters, Jobs: jobs, Social: social, Demographics: demographics}, nil
+}
+
+// SaveHiringCSV writes the scenario tables to dir in the LoadHiringCSV
+// format, creating the directory when needed.
+func SaveHiringCSV(h *HiringData, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("datagen: %w", err)
+	}
+	tables := map[string]*frame.Frame{
+		"letters.csv":      h.Letters,
+		"jobs.csv":         h.Jobs,
+		"social.csv":       h.Social,
+		"demographics.csv": h.Demographics,
+	}
+	for name, f := range tables {
+		w, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return fmt.Errorf("datagen: %w", err)
+		}
+		if err := f.WriteCSV(w); err != nil {
+			w.Close()
+			return fmt.Errorf("datagen: writing %s: %w", name, err)
+		}
+		if err := w.Close(); err != nil {
+			return fmt.Errorf("datagen: %w", err)
+		}
+	}
+	return nil
+}

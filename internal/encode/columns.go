@@ -1,0 +1,111 @@
+package encode
+
+import (
+	"fmt"
+
+	"nde/internal/frame"
+	"nde/internal/linalg"
+)
+
+// ColumnSpec binds one source column to an encoder, optionally preceded by
+// an imputer (mirroring scikit-learn's Pipeline([Imputer(), Encoder()])
+// construction inside a ColumnTransformer).
+type ColumnSpec struct {
+	Column  string
+	Imputer *Imputer // optional
+	Encoder Encoder
+}
+
+// ColumnTransformer fits a set of per-column encoders and horizontally
+// concatenates their outputs into one feature matrix. Output row i
+// corresponds to input row i for every encoder, so the transformer never
+// reshapes rows and provenance passes through unchanged.
+type ColumnTransformer struct {
+	Specs []ColumnSpec
+
+	fitted bool
+}
+
+// NewColumnTransformer builds a transformer over the given specs.
+func NewColumnTransformer(specs ...ColumnSpec) *ColumnTransformer {
+	return &ColumnTransformer{Specs: specs}
+}
+
+// Fit fits every imputer and encoder on the corresponding column of f.
+func (t *ColumnTransformer) Fit(f *frame.Frame) error {
+	if len(t.Specs) == 0 {
+		return fmt.Errorf("encode: ColumnTransformer has no specs")
+	}
+	for _, spec := range t.Specs {
+		col, err := f.Column(spec.Column)
+		if err != nil {
+			return err
+		}
+		if spec.Imputer != nil {
+			if col, err = spec.Imputer.FitTransform(col); err != nil {
+				return err
+			}
+		}
+		if err := spec.Encoder.Fit(col); err != nil {
+			return err
+		}
+	}
+	t.fitted = true
+	return nil
+}
+
+// Transform encodes every column and stacks the blocks left to right in
+// spec order.
+func (t *ColumnTransformer) Transform(f *frame.Frame) (*linalg.Matrix, error) {
+	if !t.fitted {
+		return nil, fmt.Errorf("encode: ColumnTransformer used before Fit")
+	}
+	var blocks []*linalg.Matrix
+	total := 0
+	for _, spec := range t.Specs {
+		col, err := f.Column(spec.Column)
+		if err != nil {
+			return nil, err
+		}
+		if spec.Imputer != nil {
+			if col, err = spec.Imputer.Transform(col); err != nil {
+				return nil, err
+			}
+		}
+		block, err := spec.Encoder.Transform(col)
+		if err != nil {
+			return nil, err
+		}
+		if block.Rows != f.NumRows() {
+			return nil, fmt.Errorf("encode: encoder for %q produced %d rows, want %d", spec.Column, block.Rows, f.NumRows())
+		}
+		blocks = append(blocks, block)
+		total += block.Cols
+	}
+	out := linalg.NewMatrix(f.NumRows(), total)
+	off := 0
+	for _, b := range blocks {
+		for r := 0; r < b.Rows; r++ {
+			copy(out.Row(r)[off:off+b.Cols], b.Row(r))
+		}
+		off += b.Cols
+	}
+	return out, nil
+}
+
+// FitTransform fits on f and transforms it in one call.
+func (t *ColumnTransformer) FitTransform(f *frame.Frame) (*linalg.Matrix, error) {
+	if err := t.Fit(f); err != nil {
+		return nil, err
+	}
+	return t.Transform(f)
+}
+
+// FeatureNames returns the concatenated output feature names; valid after Fit.
+func (t *ColumnTransformer) FeatureNames() []string {
+	var names []string
+	for _, spec := range t.Specs {
+		names = append(names, spec.Encoder.Names()...)
+	}
+	return names
+}

@@ -1,0 +1,31 @@
+package exp
+
+import "testing"
+
+func TestE18DetectionBenchmarkShape(t *testing.T) {
+	r, err := E18DetectionBenchmark(250, 66)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Precision) != 3 {
+		t.Fatalf("error types = %d", len(r.Precision))
+	}
+	// every method beats random on label flips (the classic setting)
+	for method, prec := range r.Precision["label-flips"] {
+		if prec <= 0.12 {
+			t.Errorf("label-flips: %s precision %v at baseline", method, prec)
+		}
+	}
+	// the benchmark's takeaway: methods that dominate on label flips can be
+	// blind to out-of-distribution rows — isolated points are never
+	// retrieved by a kNN, so their Shapley value is ~0 (dead weight, not
+	// negative) and they escape bottom-k ranking, while uncertainty scores
+	// still flag them
+	if r.Precision["ood-rows"]["self-confidence"] <= r.Precision["ood-rows"]["knn-shapley"] {
+		t.Errorf("ood: self-confidence %v should beat knn-shapley %v",
+			r.Precision["ood-rows"]["self-confidence"], r.Precision["ood-rows"]["knn-shapley"])
+	}
+	if r.Precision["label-flips"]["knn-shapley"] <= r.Precision["ood-rows"]["knn-shapley"] {
+		t.Error("knn-shapley should be far stronger on flips than on OOD")
+	}
+}

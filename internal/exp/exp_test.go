@@ -1,0 +1,212 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// These are the integration tests of the experiment harness: each
+// experiment must run end to end and reproduce the *shape* of the
+// corresponding figure/table of the tutorial (who wins, which direction the
+// curve bends), not its absolute numbers.
+
+func TestE1Figure2Shape(t *testing.T) {
+	r, err := E1Figure2(300, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.AccDirty >= r.AccClean {
+		t.Errorf("label errors should hurt: clean %v, dirty %v", r.AccClean, r.AccDirty)
+	}
+	if r.AccCleaned <= r.AccDirty {
+		t.Errorf("prioritized cleaning should help: dirty %v, cleaned %v", r.AccDirty, r.AccCleaned)
+	}
+	if r.DetectionPrecision < 0.5 {
+		t.Errorf("detection precision = %v", r.DetectionPrecision)
+	}
+	out := r.Table.String()
+	if !strings.Contains(out, "E1") || !strings.Contains(out, "after cleaning") {
+		t.Errorf("table:\n%s", out)
+	}
+}
+
+func TestE2Figure3Shape(t *testing.T) {
+	r, err := E2Figure3(400, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.OutputRows == 0 {
+		t.Fatal("pipeline output empty")
+	}
+	if !strings.Contains(r.Plan, "Join") || !strings.Contains(r.Plan, "Filter") {
+		t.Errorf("plan:\n%s", r.Plan)
+	}
+	// removing lowest-importance tuples should not substantially hurt
+	if r.AccDelta < -0.05 {
+		t.Errorf("removal hurt too much: delta %v", r.AccDelta)
+	}
+	if r.RemovedRows == 0 {
+		t.Error("no rows removed")
+	}
+}
+
+func TestE3Figure4Shape(t *testing.T) {
+	r, err := E3Figure4(200, 44)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Losses) != 5 {
+		t.Fatalf("losses = %v", r.Losses)
+	}
+	if r.Losses[4] <= r.Losses[0] {
+		t.Errorf("worst-case loss should rise with missingness: %v", r.Losses)
+	}
+}
+
+func TestE4Figure1Shape(t *testing.T) {
+	r, err := E4Figure1(300, 45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Dirty.Accuracy >= r.Clean.Accuracy {
+		t.Errorf("dirty accuracy %v >= clean %v", r.Dirty.Accuracy, r.Clean.Accuracy)
+	}
+	if len(r.Table.Rows) != 5 {
+		t.Errorf("panel rows = %d", len(r.Table.Rows))
+	}
+}
+
+func TestE5MethodComparisonShape(t *testing.T) {
+	r, err := E5MethodComparison(120, 46)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Methods) != 8 {
+		t.Fatalf("methods = %v", r.Methods)
+	}
+	// every method except LOO must beat the random baseline (flip rate
+	// 0.15); LOO is documented to be noisy for kNN utilities, where single
+	// removals rarely change any prediction
+	for name, prec := range r.Precisions {
+		if name == "loo" {
+			continue
+		}
+		if prec <= 0.15 {
+			t.Errorf("%s precision %v does not beat random baseline", name, prec)
+		}
+	}
+	// the exact closed form should be among the strongest detectors
+	if r.Precisions["knn-shapley"] < 0.5 {
+		t.Errorf("knn-shapley precision = %v", r.Precisions["knn-shapley"])
+	}
+}
+
+func TestE6ScalabilityShape(t *testing.T) {
+	r, err := E6Scalability(47)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r.Sizes {
+		if r.Seconds["knn"][i] >= r.Seconds["tmc"][i] {
+			t.Errorf("size %d: kNN-Shapley %vs not faster than TMC %vs",
+				r.Sizes[i], r.Seconds["knn"][i], r.Seconds["tmc"][i])
+		}
+	}
+	// at the largest size the speedup should be at least one order of magnitude
+	last := len(r.Sizes) - 1
+	if r.Seconds["tmc"][last]/r.Seconds["knn"][last] < 10 {
+		t.Errorf("speedup only %.1fx", r.Seconds["tmc"][last]/r.Seconds["knn"][last])
+	}
+}
+
+func TestE7CleaningStrategiesShape(t *testing.T) {
+	r, err := E7CleaningStrategies(250, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Results) != 3 {
+		t.Fatalf("results = %d", len(r.Results))
+	}
+	if r.AUC["knn-shapley"] <= r.AUC["random"] {
+		t.Errorf("knn-shapley AUC %v <= random %v", r.AUC["knn-shapley"], r.AUC["random"])
+	}
+}
+
+func TestE8CertainPredictionsShape(t *testing.T) {
+	r, err := E8CertainPredictions(150, 49)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Fractions[0] != 1 {
+		t.Errorf("zero missingness should be fully certain: %v", r.Fractions)
+	}
+	last := len(r.Fractions) - 1
+	if r.Fractions[last] >= r.Fractions[0] {
+		t.Errorf("certain fraction should fall with missingness: %v", r.Fractions)
+	}
+}
+
+func TestE9ChallengeShape(t *testing.T) {
+	r, err := E9Challenge(250, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Scores["knn-shapley"] < r.Scores["random"] {
+		t.Errorf("knn-shapley %v < random %v", r.Scores["knn-shapley"], r.Scores["random"])
+	}
+	top := r.Leaderboard.Top(1)
+	if len(top) != 1 || top[0].Name == "random" {
+		t.Errorf("leaderboard top = %v", top)
+	}
+}
+
+func TestE10PipelineScreeningShape(t *testing.T) {
+	r, err := E10PipelineScreening(200, 51)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for check, ok := range r.Detected {
+		if !ok {
+			t.Errorf("check %s failed", check)
+		}
+	}
+}
+
+func TestE11ZorroVsImputationShape(t *testing.T) {
+	r, err := E11ZorroVsImputation(150, 52)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := len(r.Rates) - 1
+	if r.MeanRangeWidth[last] <= r.MeanRangeWidth[0] {
+		t.Errorf("range width should widen with missingness: %v", r.MeanRangeWidth)
+	}
+	if r.CertainFrac[last] > r.CertainFrac[0] {
+		t.Errorf("certain fraction should not rise with missingness: %v", r.CertainFrac)
+	}
+}
+
+func TestE12GopherFairnessShape(t *testing.T) {
+	r, err := E12GopherFairness(160, 53)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.BaseViolation <= 0.1 {
+		t.Errorf("poisoned baseline violation = %v, expected substantial", r.BaseViolation)
+	}
+	if !strings.Contains(r.TopSubgroup, "src=bad") {
+		t.Errorf("top subgroup = %q, want the poisoned slice", r.TopSubgroup)
+	}
+	if r.TopDelta <= 0 {
+		t.Errorf("top delta = %v", r.TopDelta)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{ID: "T", Title: "demo", Columns: []string{"a", "bb"}, Notes: "n"}
+	tab.AddRow("1", "2")
+	out := tab.String()
+	if !strings.Contains(out, "=== T: demo ===") || !strings.Contains(out, "note: n") {
+		t.Errorf("render:\n%s", out)
+	}
+}

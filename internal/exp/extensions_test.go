@@ -1,0 +1,86 @@
+package exp
+
+import "testing"
+
+func TestE13UnlearningShape(t *testing.T) {
+	r, err := E13Unlearning(200, 61)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Speedup) != 3 {
+		t.Fatalf("speedups = %v", r.Speedup)
+	}
+	for i, agree := range r.Agreements {
+		if agree < 0.9 {
+			t.Errorf("delete %d: prediction agreement %v below 0.9", r.DeleteSizes[i], agree)
+		}
+	}
+	// unlearning a single point should be clearly faster than retraining
+	if r.Speedup[0] < 2 {
+		t.Errorf("single-delete speedup = %vx", r.Speedup[0])
+	}
+}
+
+func TestE14AmortizationShape(t *testing.T) {
+	r, err := E14Amortization(250, 62)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.PrecisionAt) != 3 {
+		t.Fatalf("precisions = %v", r.PrecisionAt)
+	}
+	// the largest budget's precision should approach the full computation
+	last := r.PrecisionAt[len(r.PrecisionAt)-1]
+	if last < r.FullPrecision-0.3 {
+		t.Errorf("amortized precision %v too far below full %v", last, r.FullPrecision)
+	}
+	// every budget should beat the 0.15 random baseline
+	for i, p := range r.PrecisionAt {
+		if p <= 0.15 {
+			t.Errorf("budget %d: precision %v at random-baseline level", r.Budgets[i], p)
+		}
+	}
+}
+
+func TestE15RAGImportanceShape(t *testing.T) {
+	r, err := E15RAGImportance(63)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.AccAfter < r.AccBefore {
+		t.Errorf("pruning polluted docs decreased accuracy: %v -> %v", r.AccBefore, r.AccAfter)
+	}
+}
+
+func TestE16WhatIfOptimizationShape(t *testing.T) {
+	r, err := E16WhatIfOptimization(300, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Agree {
+		t.Error("provenance what-if diverged from replay ground truth")
+	}
+	if r.Speedup <= 1 {
+		t.Errorf("speedup = %vx, expected > 1", r.Speedup)
+	}
+}
+
+func TestE17DatascopeAblationShape(t *testing.T) {
+	r, err := E17DatascopeAblation(300, 65)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Deltas) != 3 {
+		t.Fatalf("variants = %d", len(r.Deltas))
+	}
+	for name, delta := range r.Deltas {
+		if delta < -0.05 {
+			t.Errorf("%s: removing its bottom-25 hurt by %v", name, delta)
+		}
+	}
+	// the group-Shapley ranking should share a majority of the additive
+	// baseline's bottom-25
+	if r.Overlap["group-shapley"] < 13 {
+		t.Errorf("group-shapley overlap = %d/25", r.Overlap["group-shapley"])
+	}
+}

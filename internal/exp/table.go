@@ -1,0 +1,72 @@
+// Package exp implements the experiment harness: one generator per artifact
+// of the tutorial (the Figure 1 quality panel, the Figure 2/3/4 hands-on
+// demos, and the survey's comparative claims), each emitting a printable
+// table with the same rows/series the tutorial reports. The cmd/nde-figures
+// binary drives every experiment; bench_test.go at the repository root
+// exposes one benchmark per experiment. DESIGN.md §3 maps experiment ids to
+// modules.
+package exp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one experiment's output: an id, a caption, column headers and
+// formatted rows, plus free-form notes on how to read the result.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   string
+}
+
+// AddRow appends one formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for c, name := range t.Columns {
+		widths[c] = len(name)
+	}
+	for _, row := range t.Rows {
+		for c, cell := range row {
+			if c < len(widths) && len(cell) > widths[c] {
+				widths[c] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s: %s ===\n", t.ID, t.Title)
+	writeRow := func(cells []string) {
+		for c, cell := range cells {
+			if c > 0 {
+				b.WriteString("  ")
+			}
+			if c == len(cells)-1 {
+				b.WriteString(cell) // no padding on the last column
+			} else {
+				fmt.Fprintf(&b, "%-*s", widths[c], cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	rule := make([]string, len(t.Columns))
+	for c := range rule {
+		rule[c] = strings.Repeat("-", widths[c])
+	}
+	writeRow(rule)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(&b, "note: %s\n", t.Notes)
+	}
+	return b.String()
+}
+
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+func f4(v float64) string { return fmt.Sprintf("%.4f", v) }

@@ -1,0 +1,81 @@
+package frame
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadCSVTypeInference(t *testing.T) {
+	f, err := ReadCSVString("id,score,name,ok\n1,0.5,ana,true\n2,,bob,false\n,1.5,,true\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.MustColumn("id").Kind() != KindInt {
+		t.Errorf("id kind = %v", f.MustColumn("id").Kind())
+	}
+	if f.MustColumn("score").Kind() != KindFloat {
+		t.Errorf("score kind = %v", f.MustColumn("score").Kind())
+	}
+	if f.MustColumn("name").Kind() != KindString {
+		t.Errorf("name kind = %v", f.MustColumn("name").Kind())
+	}
+	if f.MustColumn("ok").Kind() != KindBool {
+		t.Errorf("ok kind = %v", f.MustColumn("ok").Kind())
+	}
+	if !f.MustColumn("id").IsNull(2) || !f.MustColumn("score").IsNull(1) || !f.MustColumn("name").IsNull(2) {
+		t.Error("empty cells should be nulls")
+	}
+	if f.MustColumn("score").Float(2) != 1.5 {
+		t.Error("float value wrong")
+	}
+}
+
+func TestReadCSVMixedNumericFallsToString(t *testing.T) {
+	f, err := ReadCSVString("x\n1\nfoo\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.MustColumn("x").Kind() != KindString {
+		t.Errorf("kind = %v", f.MustColumn("x").Kind())
+	}
+}
+
+func TestReadCSVEmpty(t *testing.T) {
+	if _, err := ReadCSVString(""); err == nil {
+		t.Error("expected error for empty csv")
+	}
+	f, err := ReadCSVString("a,b\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumRows() != 0 || f.NumCols() != 2 {
+		t.Error("header-only csv wrong")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	f := MustNew(
+		NewIntSeries("id", []int64{1, 2}, []bool{true, false}),
+		NewFloatSeries("v", []float64{1.25, 2}, nil),
+		NewStringSeries("s", []string{"hello", "wor,ld"}, nil),
+		NewBoolSeries("b", []bool{true, false}, nil),
+	)
+	var buf bytes.Buffer
+	if err := f.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != 2 || !back.MustColumn("id").IsNull(1) {
+		t.Errorf("round trip wrong:\n%v", back)
+	}
+	if back.MustColumn("s").Str(1) != "wor,ld" {
+		t.Error("quoted comma lost")
+	}
+	if back.MustColumn("v").Float(0) != 1.25 {
+		t.Error("float lost precision")
+	}
+}

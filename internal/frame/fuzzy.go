@@ -1,0 +1,147 @@
+package frame
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Levenshtein returns the edit distance between two strings (unit costs).
+func Levenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// FuzzyMode selects the match semantics of FuzzyJoin.
+type FuzzyMode int
+
+const (
+	// FuzzyBestMatch keeps only the right rows at the minimum distance per
+	// left row (standard entity-resolution semantics; exact matches beat
+	// fuzzy ones). Non-monotone: removing the best match can surface a new
+	// one, so provenance polynomials do not predict replays.
+	FuzzyBestMatch FuzzyMode = iota
+	// FuzzyAllMatches keeps every right row within the threshold.
+	// Monotone in the inputs, so the provenance contract holds — the mode
+	// provenance-tracked pipelines must use.
+	FuzzyAllMatches
+)
+
+// FuzzyJoin joins two frames on string keys allowing up to maxDist edit
+// operations between matching keys (case-insensitive). Null keys never
+// match. Lineage is reported like Join's.
+//
+// The nested-loop implementation is O(|L|·|R|·keylen²); appropriate for the
+// side tables of ML pipelines (thousands of rows), not for large-scale
+// record linkage.
+func FuzzyJoin(left, right *Frame, leftOn, rightOn string, maxDist int, mode FuzzyMode) (*JoinResult, error) {
+	if maxDist < 0 {
+		return nil, fmt.Errorf("frame: negative fuzzy distance %d", maxDist)
+	}
+	lk, err := left.Column(leftOn)
+	if err != nil {
+		return nil, err
+	}
+	rk, err := right.Column(rightOn)
+	if err != nil {
+		return nil, err
+	}
+	if lk.Kind() != KindString || rk.Kind() != KindString {
+		return nil, fmt.Errorf("frame: fuzzy join requires string keys, got %s and %s", lk.Kind(), rk.Kind())
+	}
+
+	var leftIdx, rightIdx []int
+	for l := 0; l < left.NumRows(); l++ {
+		if lk.IsNull(l) {
+			continue
+		}
+		key := strings.ToLower(lk.Str(l))
+		best := maxDist + 1
+		var matches []int
+		for r := 0; r < right.NumRows(); r++ {
+			if rk.IsNull(r) {
+				continue
+			}
+			d := Levenshtein(key, strings.ToLower(rk.Str(r)))
+			if d > maxDist {
+				continue
+			}
+			if mode == FuzzyAllMatches {
+				matches = append(matches, r)
+				continue
+			}
+			switch {
+			case d < best:
+				best = d
+				matches = matches[:0]
+				matches = append(matches, r)
+			case d == best:
+				matches = append(matches, r)
+			}
+		}
+		for _, r := range matches {
+			leftIdx = append(leftIdx, l)
+			rightIdx = append(rightIdx, r)
+		}
+	}
+
+	out := left.Take(leftIdx)
+	for _, c := range rightCols(right, rightOn) {
+		name := c.Name()
+		if out.HasColumn(name) {
+			name += "_r"
+		}
+		col := emptySeries(name, c.Kind(), len(rightIdx))
+		for o, r := range rightIdx {
+			if err := col.set(o, c.Value(r)); err != nil {
+				return nil, err
+			}
+		}
+		if err := out.AddColumn(col); err != nil {
+			return nil, err
+		}
+	}
+	return &JoinResult{Frame: out, LeftIdx: leftIdx, RightIdx: rightIdx}, nil
+}
+
+func rightCols(right *Frame, except string) []*Series {
+	var out []*Series
+	for _, name := range right.ColumnNames() {
+		if name == except {
+			continue
+		}
+		out = append(out, right.MustColumn(name))
+	}
+	return out
+}

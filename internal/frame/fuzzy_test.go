@@ -1,0 +1,154 @@
+package frame
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLevenshtein(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"a", "", 1},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"health", "health", 0},
+		{"healthcare", "helthcare", 1},
+		{"flaw", "lawn", 2},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// Property: Levenshtein is a metric — symmetric, zero iff equal, triangle
+// inequality.
+func TestQuickLevenshteinMetric(t *testing.T) {
+	randStr := func(r *rand.Rand) string {
+		n := r.Intn(8)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte('a' + r.Intn(3))
+		}
+		return string(b)
+	}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randStr(r), randStr(r), randStr(r)
+		dab, dba := Levenshtein(a, b), Levenshtein(b, a)
+		if dab != dba {
+			return false
+		}
+		if (dab == 0) != (a == b) {
+			return false
+		}
+		return Levenshtein(a, c) <= dab+Levenshtein(b, c)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func fuzzyFixtures() (*Frame, *Frame) {
+	people := MustNew(
+		NewStringSeries("sector", []string{"healthcare", "helthcare", "finanse", "retail", ""}, []bool{true, true, true, true, false}),
+		NewIntSeries("id", []int64{1, 2, 3, 4, 5}, nil),
+	)
+	sectors := MustNew(
+		NewStringSeries("sector", []string{"healthcare", "finance", "tech"}, nil),
+		NewFloatSeries("growth", []float64{0.1, 0.2, 0.3}, nil),
+	)
+	return people, sectors
+}
+
+func TestFuzzyJoinBestMatch(t *testing.T) {
+	people, sectors := fuzzyFixtures()
+	res, err := FuzzyJoin(people, sectors, "sector", "sector", 2, FuzzyBestMatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// healthcare (exact), helthcare (dist 1), finanse->finance (dist 2)
+	if res.Frame.NumRows() != 3 {
+		t.Fatalf("rows = %d\n%v", res.Frame.NumRows(), res.Frame)
+	}
+	ids := res.Frame.MustColumn("id")
+	if ids.Int(0) != 1 || ids.Int(1) != 2 || ids.Int(2) != 3 {
+		t.Errorf("matched ids wrong: %v", res.Frame)
+	}
+	if res.Frame.MustColumn("growth").Float(1) != 0.1 {
+		t.Error("helthcare should match healthcare")
+	}
+	if res.RightIdx[2] != 1 {
+		t.Errorf("finanse matched right row %d", res.RightIdx[2])
+	}
+}
+
+func TestFuzzyJoinBestMatchPrefersExact(t *testing.T) {
+	left := MustNew(NewStringSeries("k", []string{"abc"}, nil))
+	right := MustNew(
+		NewStringSeries("k", []string{"abd", "abc"}, nil),
+		NewIntSeries("v", []int64{1, 2}, nil),
+	)
+	res, err := FuzzyJoin(left, right, "k", "k", 1, FuzzyBestMatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Frame.NumRows() != 1 || res.Frame.MustColumn("v").Int(0) != 2 {
+		t.Errorf("exact match should win: %v", res.Frame)
+	}
+}
+
+func TestFuzzyJoinAllMatches(t *testing.T) {
+	left := MustNew(NewStringSeries("k", []string{"abc"}, nil))
+	right := MustNew(
+		NewStringSeries("k", []string{"abd", "abc", "zzz"}, nil),
+		NewIntSeries("v", []int64{1, 2, 3}, nil),
+	)
+	res, err := FuzzyJoin(left, right, "k", "k", 1, FuzzyAllMatches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Frame.NumRows() != 2 {
+		t.Fatalf("all-matches rows = %d", res.Frame.NumRows())
+	}
+}
+
+func TestFuzzyJoinErrorsAndNulls(t *testing.T) {
+	people, sectors := fuzzyFixtures()
+	if _, err := FuzzyJoin(people, sectors, "sector", "sector", -1, FuzzyBestMatch); err == nil {
+		t.Error("expected error for negative distance")
+	}
+	if _, err := FuzzyJoin(people, sectors, "id", "sector", 1, FuzzyBestMatch); err == nil {
+		t.Error("expected error for non-string key")
+	}
+	if _, err := FuzzyJoin(people, sectors, "nope", "sector", 1, FuzzyBestMatch); err == nil {
+		t.Error("expected error for unknown column")
+	}
+	// the null-keyed row (id 5) never matches
+	res, err := FuzzyJoin(people, sectors, "sector", "sector", 10, FuzzyAllMatches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range res.LeftIdx {
+		if l == 4 {
+			t.Error("null key matched")
+		}
+	}
+}
+
+func TestFuzzyJoinCaseInsensitive(t *testing.T) {
+	left := MustNew(NewStringSeries("k", []string{"HealthCare"}, nil))
+	right := MustNew(NewStringSeries("k", []string{"healthcare"}, nil), NewIntSeries("v", []int64{7}, nil))
+	res, err := FuzzyJoin(left, right, "k", "k", 0, FuzzyBestMatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Frame.NumRows() != 1 {
+		t.Error("case-insensitive exact match failed")
+	}
+}

@@ -1,0 +1,173 @@
+package frame
+
+import (
+	"fmt"
+	"math"
+)
+
+// AggFunc enumerates the supported group aggregations.
+type AggFunc int
+
+const (
+	// AggCount counts all rows in the group (including nulls in the target).
+	AggCount AggFunc = iota
+	// AggSum sums the non-null numeric values.
+	AggSum
+	// AggMean averages the non-null numeric values.
+	AggMean
+	// AggMin takes the minimum non-null numeric value.
+	AggMin
+	// AggMax takes the maximum non-null numeric value.
+	AggMax
+)
+
+// Agg names a column and the aggregation to apply to it. As output name,
+// "<func>_<column>" is used (e.g. "mean_age"); AggCount with an empty Col
+// yields "count".
+type Agg struct {
+	Col  string
+	Func AggFunc
+}
+
+func (a Agg) outName() string {
+	switch a.Func {
+	case AggCount:
+		if a.Col == "" {
+			return "count"
+		}
+		return "count_" + a.Col
+	case AggSum:
+		return "sum_" + a.Col
+	case AggMean:
+		return "mean_" + a.Col
+	case AggMin:
+		return "min_" + a.Col
+	case AggMax:
+		return "max_" + a.Col
+	}
+	return "agg_" + a.Col
+}
+
+// GroupBy groups rows by the distinct combinations of the key columns and
+// computes the requested aggregates. The result has one row per group, in
+// first-appearance order of the group keys, and reports the member input
+// rows of each group (the lineage of each output row).
+func (f *Frame) GroupBy(keys []string, aggs []Agg) (*Frame, [][]int, error) {
+	keyCols := make([]*Series, len(keys))
+	for i, k := range keys {
+		c, err := f.Column(k)
+		if err != nil {
+			return nil, nil, err
+		}
+		keyCols[i] = c
+	}
+	if len(keys) > 4 {
+		return nil, nil, fmt.Errorf("frame: at most 4 group keys supported, got %d", len(keys))
+	}
+
+	type gkey [4]valueKey
+	groupOf := make(map[gkey]int)
+	var order []gkey
+	var members [][]int
+	for r := 0; r < f.NumRows(); r++ {
+		var k gkey
+		for i, c := range keyCols {
+			k[i] = c.Value(r).key()
+		}
+		gi, ok := groupOf[k]
+		if !ok {
+			gi = len(order)
+			groupOf[k] = gi
+			order = append(order, k)
+			members = append(members, nil)
+		}
+		members[gi] = append(members[gi], r)
+	}
+
+	cols := make([]*Series, 0, len(keys)+len(aggs))
+	for i, k := range keys {
+		col := emptySeries(k, keyCols[i].Kind(), len(order))
+		for gi, m := range members {
+			if err := col.set(gi, keyCols[i].Value(m[0])); err != nil {
+				return nil, nil, err
+			}
+		}
+		cols = append(cols, col)
+	}
+	for _, a := range aggs {
+		var src *Series
+		if a.Func != AggCount || a.Col != "" {
+			c, err := f.Column(a.Col)
+			if err != nil {
+				return nil, nil, err
+			}
+			src = c
+		}
+		col := emptySeries(a.outName(), aggKind(a.Func), len(order))
+		for gi, m := range members {
+			v, ok := aggregate(src, m, a.Func)
+			if ok {
+				if err := col.set(gi, v); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+		cols = append(cols, col)
+	}
+	out, err := New(cols...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, members, nil
+}
+
+func aggKind(fn AggFunc) Kind {
+	if fn == AggCount {
+		return KindInt
+	}
+	return KindFloat
+}
+
+func aggregate(src *Series, rows []int, fn AggFunc) (Value, bool) {
+	if fn == AggCount {
+		if src == nil {
+			return Int(int64(len(rows))), true
+		}
+		n := 0
+		for _, r := range rows {
+			if !src.IsNull(r) {
+				n++
+			}
+		}
+		return Int(int64(n)), true
+	}
+	if src.Kind() != KindInt && src.Kind() != KindFloat {
+		return Null(), false
+	}
+	sum, lo, hi := 0.0, math.Inf(1), math.Inf(-1)
+	n := 0
+	for _, r := range rows {
+		if src.IsNull(r) {
+			continue
+		}
+		v := src.Float(r)
+		sum += v
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+		n++
+	}
+	if n == 0 {
+		return Null(), false
+	}
+	switch fn {
+	case AggSum:
+		return Float(sum), true
+	case AggMean:
+		return Float(sum / float64(n)), true
+	case AggMin:
+		return Float(lo), true
+	case AggMax:
+		return Float(hi), true
+	}
+	return Null(), false
+}

@@ -1,0 +1,124 @@
+package frame
+
+import "fmt"
+
+// JoinKind selects the join variant.
+type JoinKind int
+
+const (
+	// InnerJoin keeps only matching row pairs.
+	InnerJoin JoinKind = iota
+	// LeftJoin keeps every left row, padding right columns with nulls when
+	// there is no match.
+	LeftJoin
+)
+
+// JoinResult describes the output of a join together with its row-level
+// lineage: output row o was produced from left row LeftIdx[o] and right row
+// RightIdx[o]. For left joins without a match, RightIdx[o] is -1.
+type JoinResult struct {
+	Frame    *Frame
+	LeftIdx  []int
+	RightIdx []int
+}
+
+// Join hash-joins two frames on equality of the named key columns
+// (leftOn[i] = rightOn[i]). Rows with a null key never match (SQL
+// semantics). Right-side non-key columns that collide with left names are
+// suffixed with "_r". Matches preserve left-row order, then right-row order,
+// so results are deterministic.
+func Join(left, right *Frame, leftOn, rightOn []string, kind JoinKind) (*JoinResult, error) {
+	if len(leftOn) == 0 || len(leftOn) != len(rightOn) {
+		return nil, fmt.Errorf("frame: join requires equal, non-empty key lists (got %d and %d)", len(leftOn), len(rightOn))
+	}
+	leftKeys := make([]*Series, len(leftOn))
+	rightKeys := make([]*Series, len(rightOn))
+	for i := range leftOn {
+		var err error
+		if leftKeys[i], err = left.Column(leftOn[i]); err != nil {
+			return nil, err
+		}
+		if rightKeys[i], err = right.Column(rightOn[i]); err != nil {
+			return nil, err
+		}
+		if leftKeys[i].Kind() != rightKeys[i].Kind() {
+			return nil, fmt.Errorf("frame: join key kind mismatch: %s(%s) vs %s(%s)",
+				leftOn[i], leftKeys[i].Kind(), rightOn[i], rightKeys[i].Kind())
+		}
+	}
+
+	type key [4]valueKey // up to 4 join columns, padded with zero keys
+	if len(leftOn) > 4 {
+		return nil, fmt.Errorf("frame: at most 4 join keys supported, got %d", len(leftOn))
+	}
+	makeKey := func(cols []*Series, row int) (key, bool) {
+		var k key
+		for i, c := range cols {
+			if c.IsNull(row) {
+				return k, false
+			}
+			k[i] = c.Value(row).key()
+		}
+		return k, true
+	}
+
+	index := make(map[key][]int, right.NumRows())
+	for r := 0; r < right.NumRows(); r++ {
+		if k, ok := makeKey(rightKeys, r); ok {
+			index[k] = append(index[k], r)
+		}
+	}
+
+	var leftIdx, rightIdx []int
+	for l := 0; l < left.NumRows(); l++ {
+		k, ok := makeKey(leftKeys, l)
+		var matches []int
+		if ok {
+			matches = index[k]
+		}
+		if len(matches) == 0 {
+			if kind == LeftJoin {
+				leftIdx = append(leftIdx, l)
+				rightIdx = append(rightIdx, -1)
+			}
+			continue
+		}
+		for _, r := range matches {
+			leftIdx = append(leftIdx, l)
+			rightIdx = append(rightIdx, r)
+		}
+	}
+
+	out := left.Take(leftIdx)
+	rightKeySet := make(map[string]bool, len(rightOn))
+	for _, n := range rightOn {
+		rightKeySet[n] = true
+	}
+	for _, c := range right.cols {
+		if rightKeySet[c.Name()] {
+			continue // key columns appear once, from the left side
+		}
+		name := c.Name()
+		if out.HasColumn(name) {
+			name += "_r"
+		}
+		col := emptySeries(name, c.Kind(), len(rightIdx))
+		for o, r := range rightIdx {
+			if r < 0 {
+				continue // stays null
+			}
+			if err := col.set(o, c.Value(r)); err != nil {
+				return nil, err
+			}
+		}
+		if err := out.AddColumn(col); err != nil {
+			return nil, err
+		}
+	}
+	return &JoinResult{Frame: out, LeftIdx: leftIdx, RightIdx: rightIdx}, nil
+}
+
+// JoinOn is a convenience for joining on a single identically named key.
+func JoinOn(left, right *Frame, on string, kind JoinKind) (*JoinResult, error) {
+	return Join(left, right, []string{on}, []string{on}, kind)
+}

@@ -1,0 +1,143 @@
+package frame
+
+import "testing"
+
+func joinFixtures(t *testing.T) (*Frame, *Frame) {
+	t.Helper()
+	people := MustNew(
+		NewIntSeries("person_id", []int64{1, 2, 3, 4}, nil),
+		NewStringSeries("name", []string{"ana", "bob", "cyd", "dee"}, nil),
+		NewIntSeries("job_id", []int64{10, 20, 10, 30}, []bool{true, true, true, false}),
+	)
+	jobs := MustNew(
+		NewIntSeries("job_id", []int64{10, 20, 40}, nil),
+		NewStringSeries("sector", []string{"healthcare", "finance", "retail"}, nil),
+	)
+	return people, jobs
+}
+
+func TestInnerJoin(t *testing.T) {
+	people, jobs := joinFixtures(t)
+	res, err := JoinOn(people, jobs, "job_id", InnerJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Frame.NumRows() != 3 {
+		t.Fatalf("rows = %d", res.Frame.NumRows())
+	}
+	// left order preserved: ana, bob, cyd
+	names, _ := res.Frame.MustColumn("name").Strings()
+	if names[0] != "ana" || names[1] != "bob" || names[2] != "cyd" {
+		t.Errorf("names = %v", names)
+	}
+	sectors, _ := res.Frame.MustColumn("sector").Strings()
+	if sectors[0] != "healthcare" || sectors[1] != "finance" || sectors[2] != "healthcare" {
+		t.Errorf("sectors = %v", sectors)
+	}
+	if res.LeftIdx[2] != 2 || res.RightIdx[2] != 0 {
+		t.Errorf("lineage = %v %v", res.LeftIdx, res.RightIdx)
+	}
+}
+
+func TestLeftJoinPadsNulls(t *testing.T) {
+	people, jobs := joinFixtures(t)
+	res, err := JoinOn(people, jobs, "job_id", LeftJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Frame.NumRows() != 4 {
+		t.Fatalf("rows = %d", res.Frame.NumRows())
+	}
+	// dee has a null job_id -> no match, sector null, rightIdx -1
+	sector := res.Frame.MustColumn("sector")
+	if !sector.IsNull(3) {
+		t.Error("unmatched left row should have null right columns")
+	}
+	if res.RightIdx[3] != -1 {
+		t.Errorf("RightIdx[3] = %d", res.RightIdx[3])
+	}
+}
+
+func TestJoinNullKeysNeverMatch(t *testing.T) {
+	left := MustNew(NewIntSeries("k", []int64{0}, []bool{false}), NewStringSeries("l", []string{"x"}, nil))
+	right := MustNew(NewIntSeries("k", []int64{0}, []bool{false}), NewStringSeries("r", []string{"y"}, nil))
+	res, err := JoinOn(left, right, "k", InnerJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Frame.NumRows() != 0 {
+		t.Error("null keys must not match")
+	}
+}
+
+func TestJoinOneToMany(t *testing.T) {
+	letters := MustNew(
+		NewIntSeries("person_id", []int64{7}, nil),
+		NewStringSeries("txt", []string{"strong hire"}, nil),
+	)
+	tweets := MustNew(
+		NewIntSeries("person_id", []int64{7, 7, 8}, nil),
+		NewStringSeries("tweet", []string{"a", "b", "c"}, nil),
+	)
+	res, err := JoinOn(letters, tweets, "person_id", InnerJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Frame.NumRows() != 2 {
+		t.Fatalf("rows = %d", res.Frame.NumRows())
+	}
+	if res.LeftIdx[0] != 0 || res.LeftIdx[1] != 0 || res.RightIdx[0] != 0 || res.RightIdx[1] != 1 {
+		t.Errorf("lineage = %v %v", res.LeftIdx, res.RightIdx)
+	}
+}
+
+func TestJoinNameCollisionSuffix(t *testing.T) {
+	left := MustNew(NewIntSeries("k", []int64{1}, nil), NewStringSeries("v", []string{"l"}, nil))
+	right := MustNew(NewIntSeries("k", []int64{1}, nil), NewStringSeries("v", []string{"r"}, nil))
+	res, err := JoinOn(left, right, "k", InnerJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Frame.HasColumn("v_r") {
+		t.Errorf("columns = %v", res.Frame.ColumnNames())
+	}
+	if res.Frame.MustColumn("v").Str(0) != "l" || res.Frame.MustColumn("v_r").Str(0) != "r" {
+		t.Error("collision values wrong")
+	}
+}
+
+func TestJoinMultiKey(t *testing.T) {
+	left := MustNew(
+		NewIntSeries("a", []int64{1, 1, 2}, nil),
+		NewStringSeries("b", []string{"x", "y", "x"}, nil),
+	)
+	right := MustNew(
+		NewIntSeries("a", []int64{1, 2}, nil),
+		NewStringSeries("b", []string{"y", "x"}, nil),
+		NewFloatSeries("w", []float64{0.5, 0.7}, nil),
+	)
+	res, err := Join(left, right, []string{"a", "b"}, []string{"a", "b"}, InnerJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Frame.NumRows() != 2 {
+		t.Fatalf("rows = %d", res.Frame.NumRows())
+	}
+	if res.Frame.MustColumn("w").Float(0) != 0.5 {
+		t.Error("multi-key match wrong")
+	}
+}
+
+func TestJoinErrors(t *testing.T) {
+	people, jobs := joinFixtures(t)
+	if _, err := Join(people, jobs, nil, nil, InnerJoin); err == nil {
+		t.Error("expected error for empty keys")
+	}
+	if _, err := JoinOn(people, jobs, "nope", InnerJoin); err == nil {
+		t.Error("expected error for unknown key")
+	}
+	typed := MustNew(NewStringSeries("job_id", []string{"10"}, nil))
+	if _, err := JoinOn(people, typed, "job_id", InnerJoin); err == nil {
+		t.Error("expected kind mismatch error")
+	}
+}

@@ -1,0 +1,78 @@
+package frame
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the frame as an aligned text table, truncated to at most 20
+// rows, with a trailing shape line. Useful for debugging and the pretty
+// printing shown in the tutorial's hands-on snippets.
+func (f *Frame) String() string { return f.Render(20) }
+
+// Render renders the frame as an aligned text table showing at most maxRows
+// rows (all rows if maxRows <= 0).
+func (f *Frame) Render(maxRows int) string {
+	n := f.NumRows()
+	shown := n
+	if maxRows > 0 && shown > maxRows {
+		shown = maxRows
+	}
+	names := f.ColumnNames()
+	widths := make([]int, len(names))
+	cells := make([][]string, shown)
+	for c, name := range names {
+		widths[c] = len(name)
+	}
+	for r := 0; r < shown; r++ {
+		cells[r] = make([]string, len(names))
+		for c, col := range f.cols {
+			s := renderValue(col.Value(r))
+			if len(s) > 40 {
+				s = s[:37] + "..."
+			}
+			cells[r][c] = s
+			if len(s) > widths[c] {
+				widths[c] = len(s)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(vals []string) {
+		for c, v := range vals {
+			if c > 0 {
+				b.WriteString("  ")
+			}
+			if c == len(vals)-1 {
+				b.WriteString(v) // no padding on the last column
+			} else {
+				fmt.Fprintf(&b, "%-*s", widths[c], v)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(names)
+	rule := make([]string, len(names))
+	for c := range rule {
+		rule[c] = strings.Repeat("-", widths[c])
+	}
+	writeRow(rule)
+	for r := 0; r < shown; r++ {
+		writeRow(cells[r])
+	}
+	if shown < n {
+		fmt.Fprintf(&b, "... (%d more rows)\n", n-shown)
+	}
+	fmt.Fprintf(&b, "[%d rows x %d columns]", n, f.NumCols())
+	return b.String()
+}
+
+// renderValue formats a cell for display: floats are shortened to 4
+// significant digits (full precision is preserved by Value.String and the
+// CSV writer; this is presentation only).
+func renderValue(v Value) string {
+	if !v.IsNull() && v.Kind() == KindFloat {
+		return fmt.Sprintf("%.4g", v.Float())
+	}
+	return v.String()
+}

@@ -1,0 +1,79 @@
+package frame
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// DropNulls returns the rows with no nulls in any of the named columns (all
+// columns when none are named), with the kept input-row indices.
+func (f *Frame) DropNulls(cols ...string) (*Frame, []int, error) {
+	if len(cols) == 0 {
+		cols = f.ColumnNames()
+	}
+	series := make([]*Series, len(cols))
+	for i, name := range cols {
+		c, err := f.Column(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		series[i] = c
+	}
+	out, idx := f.Filter(func(r Row) bool {
+		for _, c := range series {
+			if c.IsNull(r.Index()) {
+				return false
+			}
+		}
+		return true
+	})
+	return out, idx, nil
+}
+
+// Sample returns n rows drawn without replacement under the given seed (all
+// rows, shuffled, when n exceeds the frame), with the sampled input-row
+// indices.
+func (f *Frame) Sample(n int, seed int64) (*Frame, []int) {
+	perm := rand.New(rand.NewSource(seed)).Perm(f.NumRows())
+	if n > len(perm) {
+		n = len(perm)
+	}
+	idx := perm[:n]
+	return f.Take(idx), idx
+}
+
+// Describe renders a per-column summary: kind, null count, and basic
+// statistics (mean/std/min/max for numeric columns, distinct count and mode
+// for the rest) — the quick data-quality overview a practitioner starts
+// debugging with.
+func (f *Frame) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-20s %-7s %6s  %s\n", "column", "kind", "nulls", "summary")
+	for _, name := range f.ColumnNames() {
+		c := f.MustColumn(name)
+		var summary string
+		switch c.Kind() {
+		case KindInt, KindFloat:
+			mean, okM := c.Mean()
+			std, _ := c.Std()
+			lo, hi, okR := c.MinMax()
+			if okM && okR {
+				summary = fmt.Sprintf("mean=%.3g std=%.3g min=%.3g max=%.3g", mean, std, lo, hi)
+			} else {
+				summary = "no numeric values"
+			}
+		default:
+			u := c.Unique()
+			mode, ok := c.Mode()
+			if ok {
+				summary = fmt.Sprintf("distinct=%d mode=%s", len(u), mode)
+			} else {
+				summary = "no values"
+			}
+		}
+		fmt.Fprintf(&b, "%-20s %-7s %6d  %s\n", name, c.Kind(), c.NullCount(), summary)
+	}
+	fmt.Fprintf(&b, "[%d rows x %d columns]", f.NumRows(), f.NumCols())
+	return b.String()
+}

@@ -1,0 +1,74 @@
+package frame
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDropNulls(t *testing.T) {
+	f := MustNew(
+		NewIntSeries("id", []int64{1, 2, 3, 4}, nil),
+		NewFloatSeries("v", []float64{1, 0, 3, 0}, []bool{true, false, true, false}),
+		NewStringSeries("s", []string{"a", "b", "", "d"}, []bool{true, true, false, true}),
+	)
+	all, idx, err := f.DropNulls()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.NumRows() != 1 || idx[0] != 0 {
+		t.Errorf("DropNulls() kept %v", idx)
+	}
+	some, idx, err := f.DropNulls("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if some.NumRows() != 2 || idx[1] != 2 {
+		t.Errorf("DropNulls(v) kept %v", idx)
+	}
+	if _, _, err := f.DropNulls("nope"); err == nil {
+		t.Error("expected error for unknown column")
+	}
+}
+
+func TestSample(t *testing.T) {
+	f := MustNew(NewIntSeries("id", []int64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, nil))
+	s, idx := f.Sample(4, 7)
+	if s.NumRows() != 4 || len(idx) != 4 {
+		t.Fatalf("sample = %d rows", s.NumRows())
+	}
+	seen := make(map[int]bool)
+	for _, i := range idx {
+		if seen[i] {
+			t.Fatal("sample with replacement")
+		}
+		seen[i] = true
+	}
+	s2, idx2 := f.Sample(4, 7)
+	for i := range idx {
+		if idx[i] != idx2[i] {
+			t.Fatal("sample not deterministic")
+		}
+	}
+	_ = s2
+	big, _ := f.Sample(100, 1)
+	if big.NumRows() != 10 {
+		t.Errorf("oversample rows = %d", big.NumRows())
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	f := MustNew(
+		NewFloatSeries("age", []float64{20, 30, 0}, []bool{true, true, false}),
+		NewStringSeries("sex", []string{"f", "m", "f"}, nil),
+	)
+	out := f.Describe()
+	for _, want := range []string{"age", "float", "mean=25", "sex", "distinct=2", "mode=f", "[3 rows x 2 columns]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Describe missing %q:\n%s", want, out)
+		}
+	}
+	empty := MustNew(NewFloatSeries("x", []float64{0}, []bool{false}))
+	if !strings.Contains(empty.Describe(), "no numeric values") {
+		t.Errorf("all-null describe:\n%s", empty.Describe())
+	}
+}

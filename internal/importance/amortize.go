@@ -1,0 +1,155 @@
+package importance
+
+import (
+	"fmt"
+
+	"nde/internal/linalg"
+	"nde/internal/ml"
+)
+
+// AmortizedEstimator implements model-based importance estimation in the
+// spirit of stochastic amortization (Covert et al., NeurIPS 2024): instead
+// of computing an expensive importance score for every training example, a
+// cheap regression model is fitted from example features (plus a label-
+// agreement indicator) to *noisy* importance estimates on a labeled subset,
+// and then predicts scores for the rest. Because the regression targets
+// are unbiased noisy estimates, the amortized model converges to the true
+// scores as the subset grows — at a fraction of the cost.
+type AmortizedEstimator struct {
+	// L2 is the ridge penalty of the underlying regression (default 1e-3).
+	L2 float64
+
+	reg      *ml.LinearRegression
+	trainRef *ml.Dataset
+}
+
+// NewAmortizedEstimator returns an estimator with default regularization.
+func NewAmortizedEstimator() *AmortizedEstimator {
+	return &AmortizedEstimator{L2: 1e-3}
+}
+
+// amortFeatures augments the raw features with signals known to correlate
+// with importance: the example's margin-style agreement with its local
+// neighborhood (fraction of the 5 nearest training points sharing its
+// label).
+func (a *AmortizedEstimator) amortFeatures(train *ml.Dataset, i int) []float64 {
+	x := train.Row(i)
+	out := make([]float64, 0, train.Dim()+1)
+	out = append(out, x...)
+
+	// neighborhood label agreement
+	type di struct {
+		d float64
+		j int
+	}
+	best := [5]di{}
+	for k := range best {
+		best[k] = di{d: 1e300, j: -1}
+	}
+	for j := 0; j < train.Len(); j++ {
+		if j == i {
+			continue
+		}
+		d := ml.EuclideanDistance(train.Row(j), x)
+		for k := range best {
+			if d < best[k].d {
+				copy(best[k+1:], best[k:len(best)-1])
+				best[k] = di{d, j}
+				break
+			}
+		}
+	}
+	agree := 0.0
+	n := 0.0
+	for _, b := range best {
+		if b.j >= 0 {
+			n++
+			if train.Y[b.j] == train.Y[i] {
+				agree++
+			}
+		}
+	}
+	if n > 0 {
+		agree /= n
+	}
+	out = append(out, agree)
+	return out
+}
+
+// Fit trains the amortized model from noisy importance estimates on the
+// labeled subset of rows.
+func (a *AmortizedEstimator) Fit(train *ml.Dataset, labeledRows []int, noisyScores []float64) error {
+	if len(labeledRows) != len(noisyScores) {
+		return fmt.Errorf("importance: %d labeled rows for %d scores", len(labeledRows), len(noisyScores))
+	}
+	if len(labeledRows) < 2 {
+		return fmt.Errorf("importance: amortization needs at least 2 labeled rows, got %d", len(labeledRows))
+	}
+	a.trainRef = train
+	dim := train.Dim() + 1
+	x := linalg.NewMatrix(len(labeledRows), dim)
+	for o, i := range labeledRows {
+		copy(x.Row(o), a.amortFeatures(train, i))
+	}
+	a.reg = &ml.LinearRegression{L2: a.L2}
+	return a.reg.FitXY(x, noisyScores)
+}
+
+// Predict returns amortized scores for every row of the training set the
+// estimator was fitted against.
+func (a *AmortizedEstimator) Predict() (Scores, error) {
+	if a.reg == nil {
+		return nil, fmt.Errorf("importance: Predict before Fit")
+	}
+	out := make(Scores, a.trainRef.Len())
+	for i := range out {
+		out[i] = a.reg.PredictValue(a.amortFeatures(a.trainRef, i))
+	}
+	return out, nil
+}
+
+// AmortizedBanzhaf runs the full amortization loop with a genuinely
+// per-row-priced oracle: Monte-Carlo Banzhaf values are computed for only
+// `budget` randomly chosen rows (paying budget/n of the full cost), the
+// amortized regression is fitted on those noisy targets, and scores are
+// predicted for every row. Returned alongside are the oracle rows used.
+func AmortizedBanzhaf(train, valid *ml.Dataset, newModel func() ml.Classifier, budget, samplesPerRow int, seed int64) (Scores, []int, error) {
+	if budget < 2 || budget > train.Len() {
+		return nil, nil, fmt.Errorf("importance: amortization budget %d outside [2,%d]", budget, train.Len())
+	}
+	rows := deterministicSample(train.Len(), budget, seed)
+	u := AccuracyUtility(newModel, train, valid)
+	targets, err := MCBanzhafRows(train.Len(), u, rows, SemivalueConfig{SamplesPerPoint: samplesPerRow, Seed: seed})
+	if err != nil {
+		return nil, nil, err
+	}
+	est := NewAmortizedEstimator()
+	if err := est.Fit(train, rows, targets); err != nil {
+		return nil, nil, err
+	}
+	scores, err := est.Predict()
+	if err != nil {
+		return nil, nil, err
+	}
+	return scores, rows, nil
+}
+
+// deterministicSample returns `budget` distinct indices from [0,n) chosen
+// by a seeded linear-congruential walk (avoids importing math/rand here).
+func deterministicSample(n, budget int, seed int64) []int {
+	state := uint64(seed)*6364136223846793005 + 1442695040888963407
+	next := func() uint64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return state >> 11
+	}
+	seen := make(map[int]bool, budget)
+	out := make([]int, 0, budget)
+	for len(out) < budget {
+		i := int(next() % uint64(n))
+		if !seen[i] {
+			seen[i] = true
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+package importance
+
+import (
+	"testing"
+
+	"nde/internal/ml"
+)
+
+func TestAmortizedEstimatorRecoversSignal(t *testing.T) {
+	// flipped points have low exact scores; the amortized model trained on
+	// half the exact scores should detect most flips on the other half
+	clean := blobs(160, 2.5, 401)
+	valid := blobs(80, 2.5, 402)
+	dirty, flipped := flipLabels(clean, 0.15, 403)
+	exact, err := KNNShapley(5, dirty, valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := deterministicSample(dirty.Len(), 80, 5)
+	targets := make([]float64, len(rows))
+	for o, i := range rows {
+		targets[o] = exact[i]
+	}
+	est := NewAmortizedEstimator()
+	if err := est.Fit(dirty, rows, targets); err != nil {
+		t.Fatal(err)
+	}
+	scores, err := est.Predict()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := len(flipped)
+	prec := scores.PrecisionAtK(flipped, k)
+	if prec < 0.5 {
+		t.Errorf("amortized precision@%d = %v, want >= 0.5", k, prec)
+	}
+}
+
+func TestAmortizedEstimatorErrors(t *testing.T) {
+	d := blobs(20, 2, 404)
+	est := NewAmortizedEstimator()
+	if err := est.Fit(d, []int{0, 1}, []float64{1}); err == nil {
+		t.Error("expected length mismatch error")
+	}
+	if err := est.Fit(d, []int{0}, []float64{1}); err == nil {
+		t.Error("expected too-few-rows error")
+	}
+	if _, err := NewAmortizedEstimator().Predict(); err == nil {
+		t.Error("expected error predicting before fit")
+	}
+}
+
+func TestAmortizedBanzhafEndToEnd(t *testing.T) {
+	clean := blobs(80, 2.5, 411)
+	valid := blobs(40, 2.5, 412)
+	dirty, flipped := flipLabels(clean, 0.15, 413)
+	scores, rows, err := AmortizedBanzhaf(dirty, valid,
+		func() ml.Classifier { return ml.NewKNN(5) }, 30, 15, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 30 {
+		t.Errorf("oracle rows = %d", len(rows))
+	}
+	if len(scores) != dirty.Len() {
+		t.Fatalf("scores len = %d", len(scores))
+	}
+	k := len(flipped)
+	if prec := scores.PrecisionAtK(flipped, k); prec < 0.4 {
+		t.Errorf("amortized banzhaf precision@%d = %v, want >= 0.4", k, prec)
+	}
+	if _, _, err := AmortizedBanzhaf(dirty, valid, func() ml.Classifier { return ml.NewKNN(5) }, 1, 5, 7); err == nil {
+		t.Error("expected budget error")
+	}
+}
+
+func TestMCBanzhafRowsMatchesFull(t *testing.T) {
+	w := []float64{2, -1, 0.5, 3}
+	u := additiveUtility(w)
+	partial, err := MCBanzhafRows(4, u, []int{1, 3}, SemivalueConfig{SamplesPerPoint: 50, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// additive utility: every semivalue equals the weight exactly
+	if partial[0] != -1 || partial[1] != 3 {
+		t.Errorf("partial banzhaf = %v", partial)
+	}
+	if _, err := MCBanzhafRows(4, u, []int{9}, SemivalueConfig{}); err == nil {
+		t.Error("expected range error")
+	}
+}
+
+func TestDeterministicSample(t *testing.T) {
+	a := deterministicSample(100, 20, 1)
+	b := deterministicSample(100, 20, 1)
+	c := deterministicSample(100, 20, 2)
+	if len(a) != 20 {
+		t.Fatalf("len = %d", len(a))
+	}
+	seen := make(map[int]bool)
+	for i, v := range a {
+		if v != b[i] {
+			t.Fatal("not deterministic")
+		}
+		if seen[v] {
+			t.Fatal("duplicate index")
+		}
+		seen[v] = true
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds gave identical samples")
+	}
+}

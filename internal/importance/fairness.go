@@ -1,0 +1,180 @@
+package importance
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"nde/internal/frame"
+	"nde/internal/ml"
+)
+
+// Predicate is an equality condition on one attribute column.
+type Predicate struct {
+	Column string
+	Value  frame.Value
+}
+
+func (p Predicate) String() string { return p.Column + "=" + p.Value.String() }
+
+// Subgroup is a conjunction of predicates identifying a set of training
+// rows, together with the effect of removing it.
+type Subgroup struct {
+	Predicates []Predicate
+	Support    int     // training rows matched
+	Delta      float64 // reduction in fairness violation when removed (positive = helps)
+	Violation  float64 // violation after removal
+}
+
+func (s Subgroup) String() string {
+	parts := make([]string, len(s.Predicates))
+	for i, p := range s.Predicates {
+		parts[i] = p.String()
+	}
+	return fmt.Sprintf("{%s} support=%d Δviolation=%.4f", strings.Join(parts, " ∧ "), s.Support, s.Delta)
+}
+
+// GopherConfig controls the fairness-explanation search.
+type GopherConfig struct {
+	// NewModel builds the classifier under debugging (default logistic
+	// regression).
+	NewModel func() ml.Classifier
+	// Pos is the positive class for the fairness metric (default 1).
+	Pos int
+	// MinSupport discards subgroups matching fewer training rows
+	// (default 5).
+	MinSupport int
+	// MaxPredicates caps the conjunction length at 1 or 2 (default 2).
+	MaxPredicates int
+	// TopK is the number of explanations returned (default 5).
+	TopK int
+	// Metric selects the violation to explain; it receives truth, pred,
+	// groups and the positive class (default equalized odds).
+	Metric func(truth, pred []int, groups []string, pos int) float64
+}
+
+func (cfg GopherConfig) withDefaults() GopherConfig {
+	if cfg.NewModel == nil {
+		cfg.NewModel = func() ml.Classifier { return ml.NewLogisticRegression() }
+	}
+	if cfg.MinSupport <= 0 {
+		cfg.MinSupport = 5
+	}
+	if cfg.MaxPredicates <= 0 || cfg.MaxPredicates > 2 {
+		cfg.MaxPredicates = 2
+	}
+	if cfg.TopK <= 0 {
+		cfg.TopK = 5
+	}
+	if cfg.Metric == nil {
+		cfg.Metric = ml.EqualizedOddsDifference
+	}
+	return cfg
+}
+
+// GopherExplanations searches for the training subgroups whose removal most
+// reduces a fairness violation (Pradhan et al., SIGMOD 2022). attrs is a
+// frame of interpretable attributes aligned row-for-row with train;
+// candidate subgroups are conjunctions of up to MaxPredicates equality
+// predicates over its columns. valid must carry protected groups.
+func GopherExplanations(train *ml.Dataset, attrs *frame.Frame, valid *ml.Dataset, cfg GopherConfig) (float64, []Subgroup, error) {
+	if attrs.NumRows() != train.Len() {
+		return 0, nil, fmt.Errorf("importance: attrs has %d rows, train has %d", attrs.NumRows(), train.Len())
+	}
+	if len(valid.Groups) != valid.Len() || valid.Len() == 0 {
+		return 0, nil, fmt.Errorf("importance: validation set must carry protected groups")
+	}
+	cfg = cfg.withDefaults()
+
+	violation := func(d *ml.Dataset) (float64, error) {
+		if d.Len() == 0 {
+			return 0, fmt.Errorf("importance: subgroup removal emptied the training set")
+		}
+		m := cfg.NewModel()
+		if err := m.Fit(d); err != nil {
+			return 0, err
+		}
+		pred := ml.PredictAll(m, valid)
+		return cfg.Metric(valid.Y, pred, valid.Groups, cfg.Pos), nil
+	}
+	base, err := violation(train)
+	if err != nil {
+		return 0, nil, err
+	}
+
+	// enumerate candidate subgroups with sufficient support
+	var candidates [][]Predicate
+	cols := attrs.ColumnNames()
+	for _, c := range cols {
+		for _, v := range attrs.MustColumn(c).Unique() {
+			candidates = append(candidates, []Predicate{{Column: c, Value: v}})
+		}
+	}
+	if cfg.MaxPredicates >= 2 {
+		var singles [][]Predicate
+		singles = append(singles, candidates...)
+		for a := 0; a < len(singles); a++ {
+			for b := a + 1; b < len(singles); b++ {
+				if singles[a][0].Column == singles[b][0].Column {
+					continue
+				}
+				candidates = append(candidates, []Predicate{singles[a][0], singles[b][0]})
+			}
+		}
+	}
+
+	matchRows := func(preds []Predicate) []int {
+		var rows []int
+		for r := 0; r < attrs.NumRows(); r++ {
+			ok := true
+			for _, p := range preds {
+				v, err := attrs.Value(r, p.Column)
+				if err != nil || !v.Equal(p.Value) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				rows = append(rows, r)
+			}
+		}
+		return rows
+	}
+
+	var results []Subgroup
+	for _, preds := range candidates {
+		rows := matchRows(preds)
+		if len(rows) < cfg.MinSupport || len(rows) == train.Len() {
+			continue
+		}
+		remove := make(map[int]bool, len(rows))
+		for _, r := range rows {
+			remove[r] = true
+		}
+		rest, _ := train.Without(remove)
+		after, err := violation(rest)
+		if err != nil {
+			return 0, nil, err
+		}
+		results = append(results, Subgroup{
+			Predicates: preds,
+			Support:    len(rows),
+			Delta:      base - after,
+			Violation:  after,
+		})
+	}
+	// rank by fairness improvement; among (near-)ties prefer the smaller,
+	// more precise subgroup — the minimal intervention explaining the
+	// violation
+	sort.SliceStable(results, func(a, b int) bool {
+		if math.Abs(results[a].Delta-results[b].Delta) > 1e-9 {
+			return results[a].Delta > results[b].Delta
+		}
+		return results[a].Support < results[b].Support
+	})
+	if len(results) > cfg.TopK {
+		results = results[:cfg.TopK]
+	}
+	return base, results, nil
+}

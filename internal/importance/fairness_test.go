@@ -1,0 +1,116 @@
+package importance
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"nde/internal/frame"
+	"nde/internal/linalg"
+	"nde/internal/ml"
+)
+
+// biasedHiring builds a dataset where a poisoned data source flips the
+// labels of most positive examples of protected group "b". The group is
+// visible to the model as a feature, so the poison teaches the model to
+// reject group-b positives — an equalized-odds violation that disappears
+// when the poisoned slice (src="bad") is removed.
+func biasedHiring(n int, seed int64) (*ml.Dataset, *frame.Frame, *ml.Dataset) {
+	r := rand.New(rand.NewSource(seed))
+	gen := func(m int, poison bool) (*linalg.Matrix, []int, []string, []string) {
+		x := linalg.NewMatrix(m, 3)
+		y := make([]int, m)
+		grp := make([]string, m)
+		src := make([]string, m)
+		for i := 0; i < m; i++ {
+			c := i % 2
+			sign := float64(2*c - 1)
+			x.Set(i, 0, sign*2+r.NormFloat64())
+			x.Set(i, 1, sign*2+r.NormFloat64())
+			y[i] = c
+			grp[i] = "a"
+			src[i] = "good"
+			if r.Float64() < 0.5 {
+				grp[i] = "b"
+				x.Set(i, 2, 1) // group membership is a model-visible feature
+			}
+			if poison && grp[i] == "b" && y[i] == 1 && r.Float64() < 0.8 {
+				y[i] = 0
+				src[i] = "bad"
+			}
+		}
+		return x, y, grp, src
+	}
+	x, y, grp, src := gen(n, true)
+	train, _ := ml.NewDataset(x, y)
+	attrs := frame.MustNew(
+		frame.NewStringSeries("grp", grp, nil),
+		frame.NewStringSeries("src", src, nil),
+	)
+	vx, vy, vg, _ := gen(n/2, false)
+	valid, _ := ml.NewDataset(vx, vy)
+	valid, _ = valid.WithGroups(vg)
+	return train, attrs, valid
+}
+
+func TestGopherFindsPoisonedSubgroup(t *testing.T) {
+	train, attrs, valid := biasedHiring(160, 81)
+	base, subs, err := GopherExplanations(train, attrs, valid, GopherConfig{TopK: 3, MinSupport: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) == 0 {
+		t.Fatal("no explanations returned")
+	}
+	_ = base
+	// the top explanation should involve the poisoned src=bad slice
+	top := subs[0].String()
+	if !strings.Contains(top, "src=bad") {
+		t.Errorf("top explanation = %s, want to mention src=bad (all: %v)", top, subs)
+	}
+	if subs[0].Delta < 0 {
+		t.Errorf("top explanation has negative delta %v", subs[0].Delta)
+	}
+	// results sorted by delta descending
+	for i := 1; i < len(subs); i++ {
+		if subs[i].Delta > subs[i-1].Delta {
+			t.Error("explanations not sorted by delta")
+		}
+	}
+}
+
+func TestGopherErrors(t *testing.T) {
+	train, attrs, valid := biasedHiring(40, 82)
+	short := frame.MustNew(frame.NewStringSeries("g", []string{"x"}, nil))
+	if _, _, err := GopherExplanations(train, short, valid, GopherConfig{}); err == nil {
+		t.Error("expected error for attrs length mismatch")
+	}
+	noGroups, _ := ml.NewDataset(valid.X, valid.Y)
+	if _, _, err := GopherExplanations(train, attrs, noGroups, GopherConfig{}); err == nil {
+		t.Error("expected error for validation without groups")
+	}
+}
+
+func TestGopherMinSupportFilters(t *testing.T) {
+	train, attrs, valid := biasedHiring(80, 83)
+	_, subs, err := GopherExplanations(train, attrs, valid, GopherConfig{TopK: 100, MinSupport: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range subs {
+		if s.Support < 15 {
+			t.Errorf("subgroup %v below min support", s)
+		}
+	}
+}
+
+func TestPredicateAndSubgroupStrings(t *testing.T) {
+	p := Predicate{Column: "sex", Value: frame.Str("f")}
+	if p.String() != "sex=f" {
+		t.Errorf("predicate = %q", p.String())
+	}
+	s := Subgroup{Predicates: []Predicate{p}, Support: 3, Delta: 0.125}
+	if !strings.Contains(s.String(), "sex=f") || !strings.Contains(s.String(), "support=3") {
+		t.Errorf("subgroup = %q", s.String())
+	}
+}

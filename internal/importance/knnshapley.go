@@ -1,0 +1,115 @@
+package importance
+
+import (
+	"fmt"
+	"sort"
+
+	"nde/internal/ml"
+)
+
+// KNNShapley computes exact Shapley values for the k-nearest-neighbor
+// utility in O(n log n) per validation point (Jia et al., VLDB 2019).
+//
+// For one validation point (x, y) the utility of a training subset S is
+// U(S) = (1/K) Σ_{j=1..min(K,|S|)} 1[label of j-th nearest point in S = y],
+// i.e. the fraction of the K nearest neighbors that vote correctly. The
+// Shapley values of this utility have the closed-form recurrence
+//
+//	s_(N)  = 1[y_(N) = y] / N
+//	s_(j)  = s_(j+1) + (1[y_(j)=y] − 1[y_(j+1)=y]) / K · min(K, j) / j
+//
+// where (j) indexes training points sorted by ascending distance to x.
+// The total score of a training point is its sum over validation points,
+// normalized by the number of validation points.
+func KNNShapley(k int, train, valid *ml.Dataset) (Scores, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("importance: kNN-Shapley requires K >= 1, got %d", k)
+	}
+	if train.Len() == 0 || valid.Len() == 0 {
+		return nil, fmt.Errorf("importance: kNN-Shapley needs non-empty train (%d) and valid (%d)", train.Len(), valid.Len())
+	}
+	if train.Dim() != valid.Dim() {
+		return nil, fmt.Errorf("importance: dimension mismatch %d vs %d", train.Dim(), valid.Dim())
+	}
+	n := train.Len()
+	scores := make(Scores, n)
+	order := make([]int, n)
+	dists := make([]float64, n)
+	s := make([]float64, n)
+	for v := 0; v < valid.Len(); v++ {
+		x, y := valid.Row(v), valid.Y[v]
+		for i := 0; i < n; i++ {
+			dists[i] = ml.EuclideanDistance(train.Row(i), x)
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool { return dists[order[a]] < dists[order[b]] })
+		match := func(pos int) float64 {
+			if train.Y[order[pos]] == y {
+				return 1
+			}
+			return 0
+		}
+		s[n-1] = match(n-1) / float64(n)
+		for j := n - 2; j >= 0; j-- {
+			rank := j + 1 // 1-based rank of position j
+			s[j] = s[j+1] + (match(j)-match(j+1))/float64(k)*minF(float64(k), float64(rank))/float64(rank)
+		}
+		for j := 0; j < n; j++ {
+			scores[order[j]] += s[j]
+		}
+	}
+	inv := 1 / float64(valid.Len())
+	for i := range scores {
+		scores[i] *= inv
+	}
+	return scores, nil
+}
+
+// KNNUtility returns the utility function that KNNShapley's closed form
+// scores: mean over validation points of the fraction of correct votes
+// among the K nearest neighbors within the subset. Exposed so tests and
+// benchmarks can cross-check the closed form against generic estimators.
+func KNNUtility(k int, train, valid *ml.Dataset) Utility {
+	return func(subset []int) (float64, error) {
+		if len(subset) == 0 {
+			return 0, nil
+		}
+		total := 0.0
+		type distIdx struct {
+			d float64
+			i int
+		}
+		for v := 0; v < valid.Len(); v++ {
+			x, y := valid.Row(v), valid.Y[v]
+			di := make([]distIdx, len(subset))
+			for o, i := range subset {
+				di[o] = distIdx{ml.EuclideanDistance(train.Row(i), x), i}
+			}
+			sort.SliceStable(di, func(a, b int) bool {
+				if di[a].d != di[b].d {
+					return di[a].d < di[b].d
+				}
+				return di[a].i < di[b].i
+			})
+			m := k
+			if m > len(di) {
+				m = len(di)
+			}
+			correct := 0
+			for j := 0; j < m; j++ {
+				if train.Y[di[j].i] == y {
+					correct++
+				}
+			}
+			total += float64(correct) / float64(k)
+		}
+		return total / float64(valid.Len()), nil
+	}
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,96 @@
+package importance
+
+import (
+	"testing"
+
+	"nde/internal/ml"
+)
+
+func TestSelfConfidenceDetectsFlips(t *testing.T) {
+	clean := blobs(200, 2.5, 61)
+	dirty, flipped := flipLabels(clean, 0.1, 62)
+	scores, err := SelfConfidence(dirty, NoiseConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prec := scores.PrecisionAtK(flipped, len(flipped))
+	if prec < 0.7 {
+		t.Errorf("self-confidence precision@k = %v, want >= 0.7", prec)
+	}
+	for _, s := range scores {
+		if s < 0 || s > 1 {
+			t.Errorf("self-confidence %v outside [0,1]", s)
+		}
+	}
+}
+
+func TestMarginScoreDetectsFlips(t *testing.T) {
+	clean := blobs(200, 2.5, 63)
+	dirty, flipped := flipLabels(clean, 0.1, 64)
+	scores, err := MarginScore(dirty, NoiseConfig{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prec := scores.PrecisionAtK(flipped, len(flipped))
+	if prec < 0.7 {
+		t.Errorf("margin precision@k = %v, want >= 0.7", prec)
+	}
+	for _, s := range scores {
+		if s < -1-1e-9 || s > 1+1e-9 {
+			t.Errorf("margin %v outside [-1,1]", s)
+		}
+	}
+}
+
+func TestConfidentLearningFlags(t *testing.T) {
+	clean := blobs(200, 3, 65)
+	dirty, flipped := flipLabels(clean, 0.1, 66)
+	flags, err := ConfidentLearningFlags(dirty, NoiseConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flags) == 0 {
+		t.Fatal("no examples flagged despite 10% label noise")
+	}
+	hits := 0
+	for _, i := range flags {
+		if flipped[i] {
+			hits++
+		}
+	}
+	prec := float64(hits) / float64(len(flags))
+	rec := float64(hits) / float64(len(flipped))
+	if prec < 0.7 {
+		t.Errorf("confident-learning precision = %v, want >= 0.7", prec)
+	}
+	if rec < 0.5 {
+		t.Errorf("confident-learning recall = %v, want >= 0.5", rec)
+	}
+}
+
+func TestConfidentLearningCleanDataFewFlags(t *testing.T) {
+	clean := blobs(200, 3, 67)
+	flags, err := ConfidentLearningFlags(clean, NoiseConfig{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flags) > clean.Len()/10 {
+		t.Errorf("flagged %d of %d clean examples", len(flags), clean.Len())
+	}
+}
+
+func TestNoiseConfigCustomModel(t *testing.T) {
+	clean := blobs(100, 2.5, 68)
+	dirty, flipped := flipLabels(clean, 0.1, 69)
+	scores, err := SelfConfidence(dirty, NoiseConfig{
+		Seed:     5,
+		Folds:    4,
+		NewModel: func() ml.ProbabilisticClassifier { return ml.NewKNN(7) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prec := scores.PrecisionAtK(flipped, len(flipped)); prec < 0.6 {
+		t.Errorf("kNN-based self-confidence precision = %v", prec)
+	}
+}

@@ -1,0 +1,88 @@
+package importance
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"nde/internal/ml"
+)
+
+// KNNShapleyParallel computes the same exact kNN-Shapley values as
+// KNNShapley using a worker pool over validation points. Results are
+// bit-for-bit deterministic: each validation point's contribution vector is
+// computed independently and the final reduction sums them in validation-
+// point order, so float summation order never depends on scheduling.
+func KNNShapleyParallel(k int, train, valid *ml.Dataset, workers int) (Scores, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("importance: kNN-Shapley requires K >= 1, got %d", k)
+	}
+	if train.Len() == 0 || valid.Len() == 0 {
+		return nil, fmt.Errorf("importance: kNN-Shapley needs non-empty train (%d) and valid (%d)", train.Len(), valid.Len())
+	}
+	if train.Dim() != valid.Dim() {
+		return nil, fmt.Errorf("importance: dimension mismatch %d vs %d", train.Dim(), valid.Dim())
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > valid.Len() {
+		workers = valid.Len()
+	}
+	n := train.Len()
+	// per-validation-point contribution vectors, indexed by validation point
+	contribs := make([][]float64, valid.Len())
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			order := make([]int, n)
+			dists := make([]float64, n)
+			s := make([]float64, n)
+			for v := range jobs {
+				x, y := valid.Row(v), valid.Y[v]
+				for i := 0; i < n; i++ {
+					dists[i] = ml.EuclideanDistance(train.Row(i), x)
+					order[i] = i
+				}
+				sort.SliceStable(order, func(a, b int) bool { return dists[order[a]] < dists[order[b]] })
+				match := func(pos int) float64 {
+					if train.Y[order[pos]] == y {
+						return 1
+					}
+					return 0
+				}
+				s[n-1] = match(n-1) / float64(n)
+				for j := n - 2; j >= 0; j-- {
+					rank := j + 1
+					s[j] = s[j+1] + (match(j)-match(j+1))/float64(k)*minF(float64(k), float64(rank))/float64(rank)
+				}
+				c := make([]float64, n)
+				for j := 0; j < n; j++ {
+					c[order[j]] = s[j]
+				}
+				contribs[v] = c
+			}
+		}()
+	}
+	for v := 0; v < valid.Len(); v++ {
+		jobs <- v
+	}
+	close(jobs)
+	wg.Wait()
+
+	scores := make(Scores, n)
+	for v := 0; v < valid.Len(); v++ { // fixed reduction order
+		for i, c := range contribs[v] {
+			scores[i] += c
+		}
+	}
+	inv := 1 / float64(valid.Len())
+	for i := range scores {
+		scores[i] *= inv
+	}
+	return scores, nil
+}

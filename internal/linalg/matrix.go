@@ -1,0 +1,146 @@
+package linalg
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols, Data[r*Cols+c]
+}
+
+// NewMatrix allocates a zero Rows x Cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("linalg: invalid shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices of equal length.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0)
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for r, row := range rows {
+		if len(row) != m.Cols {
+			panic(fmt.Sprintf("linalg: ragged row %d: %d vs %d", r, len(row), m.Cols))
+		}
+		copy(m.Data[r*m.Cols:(r+1)*m.Cols], row)
+	}
+	return m
+}
+
+// Identity returns the n x n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Data[i*n+i] = 1
+	}
+	return m
+}
+
+// At returns element (r, c).
+func (m *Matrix) At(r, c int) float64 { return m.Data[r*m.Cols+c] }
+
+// Set stores v at element (r, c).
+func (m *Matrix) Set(r, c int, v float64) { m.Data[r*m.Cols+c] = v }
+
+// Row returns a view of row r (shared backing).
+func (m *Matrix) Row(r int) []float64 { return m.Data[r*m.Cols : (r+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	return &Matrix{Rows: m.Rows, Cols: m.Cols, Data: Clone(m.Data)}
+}
+
+// T returns the transpose as a new matrix.
+func (m *Matrix) T() *Matrix {
+	t := NewMatrix(m.Cols, m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		for c := 0; c < m.Cols; c++ {
+			t.Data[c*t.Cols+r] = m.Data[r*m.Cols+c]
+		}
+	}
+	return t
+}
+
+// MulVec returns m @ x.
+func (m *Matrix) MulVec(x []float64) []float64 {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("linalg: MulVec shape %dx%d @ %d", m.Rows, m.Cols, len(x)))
+	}
+	out := make([]float64, m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		out[r] = Dot(m.Row(r), x)
+	}
+	return out
+}
+
+// MulTransVec returns mᵀ @ x without materializing the transpose.
+func (m *Matrix) MulTransVec(x []float64) []float64 {
+	if len(x) != m.Rows {
+		panic(fmt.Sprintf("linalg: MulTransVec shape %dx%d^T @ %d", m.Rows, m.Cols, len(x)))
+	}
+	out := make([]float64, m.Cols)
+	for r := 0; r < m.Rows; r++ {
+		AXPY(x[r], m.Row(r), out)
+	}
+	return out
+}
+
+// MatMul returns m @ o.
+func (m *Matrix) MatMul(o *Matrix) *Matrix {
+	if m.Cols != o.Rows {
+		panic(fmt.Sprintf("linalg: MatMul shape %dx%d @ %dx%d", m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+	out := NewMatrix(m.Rows, o.Cols)
+	for r := 0; r < m.Rows; r++ {
+		for k := 0; k < m.Cols; k++ {
+			a := m.Data[r*m.Cols+k]
+			if a == 0 {
+				continue
+			}
+			orow := o.Data[k*o.Cols : (k+1)*o.Cols]
+			AXPY(a, orow, out.Row(r))
+		}
+	}
+	return out
+}
+
+// AddScaledIdentity adds alpha to the diagonal in place (m must be square).
+func (m *Matrix) AddScaledIdentity(alpha float64) {
+	if m.Rows != m.Cols {
+		panic(fmt.Sprintf("linalg: AddScaledIdentity on %dx%d", m.Rows, m.Cols))
+	}
+	for i := 0; i < m.Rows; i++ {
+		m.Data[i*m.Cols+i] += alpha
+	}
+}
+
+// Gram returns mᵀ @ m (the Gram matrix of the columns).
+func (m *Matrix) Gram() *Matrix {
+	g := NewMatrix(m.Cols, m.Cols)
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		for i := 0; i < m.Cols; i++ {
+			if row[i] == 0 {
+				continue
+			}
+			AXPY(row[i], row, g.Row(i))
+		}
+	}
+	return g
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	for r := 0; r < m.Rows; r++ {
+		fmt.Fprintf(&b, "%v\n", m.Row(r))
+	}
+	return b.String()
+}

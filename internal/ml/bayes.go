@@ -1,0 +1,219 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+)
+
+// GaussianNB is a Gaussian naive Bayes classifier: each feature is modeled
+// per class as an independent normal with variance smoothing.
+type GaussianNB struct {
+	VarSmoothing float64 // added to every variance (default 1e-9 of max var)
+
+	classes  int
+	priors   []float64   // log priors per class
+	means    [][]float64 // [class][feature]
+	variance [][]float64 // [class][feature]
+}
+
+// NewGaussianNB returns a Gaussian naive Bayes classifier.
+func NewGaussianNB() *GaussianNB { return &GaussianNB{} }
+
+// Fit estimates class priors and per-class feature means/variances.
+func (m *GaussianNB) Fit(d *Dataset) error {
+	if d.Len() == 0 {
+		return fmt.Errorf("ml: naive Bayes cannot fit an empty dataset")
+	}
+	nc, dim, n := d.NumClasses(), d.Dim(), d.Len()
+	counts := make([]int, nc)
+	means := make([][]float64, nc)
+	vars := make([][]float64, nc)
+	for c := 0; c < nc; c++ {
+		means[c] = make([]float64, dim)
+		vars[c] = make([]float64, dim)
+	}
+	for i := 0; i < n; i++ {
+		c := d.Y[i]
+		counts[c]++
+		for j, v := range d.Row(i) {
+			means[c][j] += v
+		}
+	}
+	for c := 0; c < nc; c++ {
+		if counts[c] > 0 {
+			for j := range means[c] {
+				means[c][j] /= float64(counts[c])
+			}
+		}
+	}
+	maxVar := 0.0
+	for i := 0; i < n; i++ {
+		c := d.Y[i]
+		for j, v := range d.Row(i) {
+			dv := v - means[c][j]
+			vars[c][j] += dv * dv
+		}
+	}
+	for c := 0; c < nc; c++ {
+		if counts[c] > 0 {
+			for j := range vars[c] {
+				vars[c][j] /= float64(counts[c])
+				maxVar = math.Max(maxVar, vars[c][j])
+			}
+		}
+	}
+	smooth := m.VarSmoothing
+	if smooth <= 0 {
+		smooth = 1e-9*maxVar + 1e-12
+	}
+	priors := make([]float64, nc)
+	for c := 0; c < nc; c++ {
+		if counts[c] == 0 {
+			priors[c] = math.Inf(-1)
+			continue
+		}
+		priors[c] = math.Log(float64(counts[c]) / float64(n))
+		for j := range vars[c] {
+			vars[c][j] += smooth
+		}
+	}
+	m.classes, m.priors, m.means, m.variance = nc, priors, means, vars
+	return nil
+}
+
+func (m *GaussianNB) logJoint(x []float64) []float64 {
+	out := make([]float64, m.classes)
+	for c := 0; c < m.classes; c++ {
+		if math.IsInf(m.priors[c], -1) {
+			out[c] = math.Inf(-1)
+			continue
+		}
+		ll := m.priors[c]
+		for j, v := range x {
+			va := m.variance[c][j]
+			dv := v - m.means[c][j]
+			ll += -0.5*math.Log(2*math.Pi*va) - dv*dv/(2*va)
+		}
+		out[c] = ll
+	}
+	return out
+}
+
+// Predict returns the class with the highest posterior.
+func (m *GaussianNB) Predict(x []float64) int {
+	if m.means == nil {
+		panic("ml: Predict before Fit")
+	}
+	lj := m.logJoint(x)
+	best, bestV := 0, math.Inf(-1)
+	for c, v := range lj {
+		if v > bestV {
+			best, bestV = c, v
+		}
+	}
+	return best
+}
+
+// Proba returns normalized posteriors via the log-sum-exp trick.
+func (m *GaussianNB) Proba(x []float64) []float64 {
+	if m.means == nil {
+		panic("ml: Proba before Fit")
+	}
+	lj := m.logJoint(x)
+	maxLL := math.Inf(-1)
+	for _, v := range lj {
+		maxLL = math.Max(maxLL, v)
+	}
+	sum := 0.0
+	out := make([]float64, len(lj))
+	for c, v := range lj {
+		out[c] = math.Exp(v - maxLL)
+		sum += out[c]
+	}
+	for c := range out {
+		out[c] /= sum
+	}
+	return out
+}
+
+// MultinomialNB is a multinomial naive Bayes classifier for count features
+// (e.g. bag-of-words), with Laplace smoothing. Negative features are
+// rejected at Fit time.
+type MultinomialNB struct {
+	Alpha float64 // Laplace smoothing (default 1)
+
+	classes int
+	priors  []float64
+	logProb [][]float64 // [class][feature] log P(feature | class)
+}
+
+// NewMultinomialNB returns a multinomial NB with Laplace smoothing 1.
+func NewMultinomialNB() *MultinomialNB { return &MultinomialNB{Alpha: 1} }
+
+// Fit estimates per-class token distributions.
+func (m *MultinomialNB) Fit(d *Dataset) error {
+	if d.Len() == 0 {
+		return fmt.Errorf("ml: naive Bayes cannot fit an empty dataset")
+	}
+	alpha := m.Alpha
+	if alpha <= 0 {
+		alpha = 1
+	}
+	nc, dim, n := d.NumClasses(), d.Dim(), d.Len()
+	counts := make([]int, nc)
+	tokens := make([][]float64, nc)
+	for c := range tokens {
+		tokens[c] = make([]float64, dim)
+	}
+	for i := 0; i < n; i++ {
+		c := d.Y[i]
+		counts[c]++
+		for j, v := range d.Row(i) {
+			if v < 0 {
+				return fmt.Errorf("ml: multinomial NB requires non-negative features, got %v at (%d,%d)", v, i, j)
+			}
+			tokens[c][j] += v
+		}
+	}
+	priors := make([]float64, nc)
+	logProb := make([][]float64, nc)
+	for c := 0; c < nc; c++ {
+		logProb[c] = make([]float64, dim)
+		if counts[c] == 0 {
+			priors[c] = math.Inf(-1)
+			continue
+		}
+		priors[c] = math.Log(float64(counts[c]) / float64(n))
+		total := 0.0
+		for _, v := range tokens[c] {
+			total += v
+		}
+		denom := math.Log(total + alpha*float64(dim))
+		for j, v := range tokens[c] {
+			logProb[c][j] = math.Log(v+alpha) - denom
+		}
+	}
+	m.classes, m.priors, m.logProb = nc, priors, logProb
+	return nil
+}
+
+// Predict returns the class with the highest posterior.
+func (m *MultinomialNB) Predict(x []float64) int {
+	if m.logProb == nil {
+		panic("ml: Predict before Fit")
+	}
+	best, bestV := 0, math.Inf(-1)
+	for c := 0; c < m.classes; c++ {
+		if math.IsInf(m.priors[c], -1) {
+			continue
+		}
+		ll := m.priors[c]
+		for j, v := range x {
+			ll += v * m.logProb[c][j]
+		}
+		if ll > bestV {
+			best, bestV = c, ll
+		}
+	}
+	return best
+}

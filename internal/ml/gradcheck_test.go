@@ -1,0 +1,94 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nde/internal/linalg"
+)
+
+// regLogLoss computes the L2-regularized mean log loss at parameters
+// (w, b) — the objective LogisticRegression.Fit descends.
+func regLogLoss(d *Dataset, w []float64, b, l2 float64) float64 {
+	sum := 0.0
+	for i := 0; i < d.Len(); i++ {
+		z := linalg.Dot(w, d.Row(i)) + b
+		// log(1 + exp(-y*z)) with y in {-1,+1}, numerically stable
+		yz := (2*float64(d.Y[i]) - 1) * z
+		if yz > 0 {
+			sum += math.Log1p(math.Exp(-yz))
+		} else {
+			sum += -yz + math.Log1p(math.Exp(yz))
+		}
+	}
+	loss := sum / float64(d.Len())
+	for _, v := range w {
+		loss += l2 * v * v / 2
+	}
+	return loss
+}
+
+// Property: the analytic gradient used by Fit matches central finite
+// differences of the objective at random parameter points.
+func TestQuickLogisticGradientCheck(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := blobs(10+r.Intn(20), 1.5, seed)
+		l2 := 0.01
+		w := []float64{r.NormFloat64(), r.NormFloat64()}
+		b := r.NormFloat64()
+
+		// analytic gradient of the same objective
+		gw := make([]float64, 2)
+		gb := 0.0
+		for i := 0; i < d.Len(); i++ {
+			p := Sigmoid(linalg.Dot(w, d.Row(i)) + b)
+			err := p - float64(d.Y[i])
+			linalg.AXPY(err, d.Row(i), gw)
+			gb += err
+		}
+		linalg.Scale(1/float64(d.Len()), gw)
+		gb /= float64(d.Len())
+		for j := range gw {
+			gw[j] += l2 * w[j]
+		}
+
+		const h = 1e-6
+		for j := 0; j < 2; j++ {
+			wp := linalg.Clone(w)
+			wm := linalg.Clone(w)
+			wp[j] += h
+			wm[j] -= h
+			numeric := (regLogLoss(d, wp, b, l2) - regLogLoss(d, wm, b, l2)) / (2 * h)
+			if math.Abs(numeric-gw[j]) > 1e-4 {
+				return false
+			}
+		}
+		numericB := (regLogLoss(d, w, b+h, l2) - regLogLoss(d, w, b-h, l2)) / (2 * h)
+		return math.Abs(numericB-gb) < 1e-4
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: training strictly decreases the regularized objective relative
+// to the zero initialization for any dataset with both classes present.
+func TestQuickLogisticTrainingDecreasesLoss(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := blobs(10+r.Intn(30), 0.5+r.Float64()*2, seed)
+		m := &LogisticRegression{LR: 0.5, Epochs: 100, L2: 1e-3}
+		if err := m.Fit(d); err != nil {
+			return false
+		}
+		initial := regLogLoss(d, []float64{0, 0}, 0, 1e-3)
+		final := regLogLoss(d, m.Weights(), m.Intercept(), 1e-3)
+		return final < initial
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

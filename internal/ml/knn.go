@@ -1,0 +1,109 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"nde/internal/linalg"
+)
+
+// KNN is a k-nearest-neighbors classifier under Euclidean distance. Ties in
+// the vote break toward the smaller label; ties in distance break toward the
+// smaller training index, so predictions are fully deterministic.
+type KNN struct {
+	K     int
+	train *Dataset
+}
+
+// NewKNN returns a kNN classifier with the given k (k >= 1).
+func NewKNN(k int) *KNN { return &KNN{K: k} }
+
+// Fit memorizes the training set.
+func (m *KNN) Fit(d *Dataset) error {
+	if m.K < 1 {
+		return fmt.Errorf("ml: kNN requires K >= 1, got %d", m.K)
+	}
+	if d.Len() == 0 {
+		return fmt.Errorf("ml: kNN cannot fit an empty dataset")
+	}
+	m.train = d
+	return nil
+}
+
+// Neighbors returns the indices of all training points sorted by ascending
+// distance to x (distance ties break by index). The slice is freshly
+// allocated.
+func (m *KNN) Neighbors(x []float64) []int {
+	n := m.train.Len()
+	dists := make([]float64, n)
+	for i := 0; i < n; i++ {
+		dists[i] = EuclideanDistance(m.train.Row(i), x)
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return dists[idx[a]] < dists[idx[b]] })
+	return idx
+}
+
+// Predict returns the majority label among the k nearest training points.
+func (m *KNN) Predict(x []float64) int {
+	if m.train == nil {
+		panic("ml: Predict before Fit")
+	}
+	order := m.Neighbors(x)
+	k := m.K
+	if k > len(order) {
+		k = len(order)
+	}
+	votes := make(map[int]int)
+	for _, i := range order[:k] {
+		votes[m.train.Y[i]]++
+	}
+	best, bestVotes := 0, -1
+	labels := make([]int, 0, len(votes))
+	for y := range votes {
+		labels = append(labels, y)
+	}
+	sort.Ints(labels)
+	for _, y := range labels {
+		if votes[y] > bestVotes {
+			best, bestVotes = y, votes[y]
+		}
+	}
+	return best
+}
+
+// Proba returns the vote fractions over classes among the k nearest points.
+func (m *KNN) Proba(x []float64) []float64 {
+	if m.train == nil {
+		panic("ml: Proba before Fit")
+	}
+	nc := m.train.NumClasses()
+	out := make([]float64, nc)
+	order := m.Neighbors(x)
+	k := m.K
+	if k > len(order) {
+		k = len(order)
+	}
+	for _, i := range order[:k] {
+		out[m.train.Y[i]]++
+	}
+	linalg.Scale(1/float64(k), out)
+	return out
+}
+
+// EuclideanDistance returns the L2 distance between two equal-length vectors.
+func EuclideanDistance(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("ml: distance dims %d vs %d", len(a), len(b)))
+	}
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,83 @@
+package ml
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ROCAUC computes the area under the ROC curve for binary labels given
+// P(y=1) scores, via the rank statistic (equivalent to the Mann-Whitney U).
+// Tied scores contribute half. It returns an error when either class is
+// absent.
+func ROCAUC(truth []int, scores []float64) (float64, error) {
+	if len(truth) != len(scores) {
+		return 0, fmt.Errorf("ml: ROCAUC lengths %d vs %d", len(truth), len(scores))
+	}
+	nPos, nNeg := 0, 0
+	for _, y := range truth {
+		switch y {
+		case 1:
+			nPos++
+		case 0:
+			nNeg++
+		default:
+			return 0, fmt.Errorf("ml: ROCAUC requires binary 0/1 labels, got %d", y)
+		}
+	}
+	if nPos == 0 || nNeg == 0 {
+		return 0, fmt.Errorf("ml: ROCAUC undefined with %d positives and %d negatives", nPos, nNeg)
+	}
+	// average rank of ties
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] < scores[idx[b]] })
+	ranks := make([]float64, len(scores))
+	for i := 0; i < len(idx); {
+		j := i
+		for j < len(idx) && scores[idx[j]] == scores[idx[i]] {
+			j++
+		}
+		avg := float64(i+j+1) / 2 // 1-based average rank of the tie block
+		for k := i; k < j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j
+	}
+	sumPos := 0.0
+	for i, y := range truth {
+		if y == 1 {
+			sumPos += ranks[i]
+		}
+	}
+	u := sumPos - float64(nPos)*float64(nPos+1)/2
+	return u / (float64(nPos) * float64(nNeg)), nil
+}
+
+// BrierScore returns the mean squared error between P(y=1) scores and the
+// binary labels — a calibration-sensitive quality metric.
+func BrierScore(truth []int, scores []float64) (float64, error) {
+	if len(truth) != len(scores) {
+		return 0, fmt.Errorf("ml: BrierScore lengths %d vs %d", len(truth), len(scores))
+	}
+	if len(truth) == 0 {
+		return 0, fmt.Errorf("ml: BrierScore of empty inputs")
+	}
+	sum := 0.0
+	for i, y := range truth {
+		d := scores[i] - float64(y)
+		sum += d * d
+	}
+	return sum / float64(len(truth)), nil
+}
+
+// ProbaScores extracts P(y=1) from a fitted probabilistic classifier over a
+// dataset — the score vector ROCAUC and BrierScore consume.
+func ProbaScores(m ProbabilisticClassifier, d *Dataset) []float64 {
+	out := make([]float64, d.Len())
+	for i := range out {
+		out[i] = m.Proba(d.Row(i))[1]
+	}
+	return out
+}

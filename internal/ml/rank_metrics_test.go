@@ -1,0 +1,137 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestROCAUCPerfectAndRandom(t *testing.T) {
+	truth := []int{0, 0, 1, 1}
+	perfect, err := ROCAUC(truth, []float64{0.1, 0.2, 0.8, 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perfect != 1 {
+		t.Errorf("perfect AUC = %v", perfect)
+	}
+	inverted, err := ROCAUC(truth, []float64{0.9, 0.8, 0.2, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inverted != 0 {
+		t.Errorf("inverted AUC = %v", inverted)
+	}
+	constant, err := ROCAUC(truth, []float64{0.5, 0.5, 0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if constant != 0.5 {
+		t.Errorf("constant-score AUC = %v", constant)
+	}
+}
+
+func TestROCAUCErrors(t *testing.T) {
+	if _, err := ROCAUC([]int{1, 1}, []float64{0.5, 0.6}); err == nil {
+		t.Error("expected error with a single class")
+	}
+	if _, err := ROCAUC([]int{0, 2}, []float64{0.5, 0.6}); err == nil {
+		t.Error("expected error for non-binary labels")
+	}
+	if _, err := ROCAUC([]int{0}, []float64{0.5, 0.6}); err == nil {
+		t.Error("expected error for length mismatch")
+	}
+}
+
+// Property: AUC equals the exhaustive pairwise statistic
+// P(score_pos > score_neg) + 0.5 P(tie).
+func TestQuickROCAUCEqualsPairwise(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 4 + r.Intn(30)
+		truth := make([]int, n)
+		scores := make([]float64, n)
+		hasPos, hasNeg := false, false
+		for i := range truth {
+			truth[i] = r.Intn(2)
+			scores[i] = float64(r.Intn(6)) / 5 // coarse grid forces ties
+			if truth[i] == 1 {
+				hasPos = true
+			} else {
+				hasNeg = true
+			}
+		}
+		if !hasPos || !hasNeg {
+			return true
+		}
+		auc, err := ROCAUC(truth, scores)
+		if err != nil {
+			return false
+		}
+		wins, ties, pairs := 0.0, 0.0, 0.0
+		for i := range truth {
+			if truth[i] != 1 {
+				continue
+			}
+			for j := range truth {
+				if truth[j] != 0 {
+					continue
+				}
+				pairs++
+				switch {
+				case scores[i] > scores[j]:
+					wins++
+				case scores[i] == scores[j]:
+					ties++
+				}
+			}
+		}
+		want := (wins + ties/2) / pairs
+		return math.Abs(auc-want) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBrierScore(t *testing.T) {
+	got, err := BrierScore([]int{1, 0}, []float64{0.8, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (0.04 + 0.09) / 2
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("Brier = %v, want %v", got, want)
+	}
+	if _, err := BrierScore(nil, nil); err == nil {
+		t.Error("expected error for empty inputs")
+	}
+	if _, err := BrierScore([]int{1}, []float64{0.5, 0.5}); err == nil {
+		t.Error("expected length mismatch error")
+	}
+}
+
+func TestProbaScoresWithModel(t *testing.T) {
+	train := blobs(150, 2.5, 601)
+	test := blobs(60, 2.5, 602)
+	m := NewLogisticRegression()
+	if err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	scores := ProbaScores(m, test)
+	auc, err := ROCAUC(test.Y, scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.95 {
+		t.Errorf("separable-data AUC = %v", auc)
+	}
+	brier, err := BrierScore(test.Y, scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if brier > 0.1 {
+		t.Errorf("separable-data Brier = %v", brier)
+	}
+}

@@ -1,0 +1,292 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+
+	"nde/internal/linalg"
+)
+
+// This file implements low-latency machine unlearning — the §2.4 connection
+// the tutorial draws between data debugging and the right-to-be-forgotten:
+// debugging techniques repeatedly ask "what if these points were removed?",
+// and unlearning answers it without full retraining (cf. HedgeCut, Schelter
+// et al., SIGMOD 2021).
+
+// Unlearner is a model that can efficiently forget training examples.
+type Unlearner interface {
+	Classifier
+	// Unlearn removes the given training rows (indices into the dataset
+	// passed to Fit) from the model without retraining from scratch.
+	Unlearn(rows []int) error
+}
+
+// UnlearnableKNN is a kNN classifier with O(deleted) exact unlearning:
+// forgetting a point simply removes it from the vote set, and the result is
+// *identical* to retraining on the reduced data.
+type UnlearnableKNN struct {
+	K int
+
+	inner   *KNN
+	alive   []bool
+	nAlive  int
+	dataset *Dataset
+}
+
+// NewUnlearnableKNN returns an unlearnable kNN with the given k.
+func NewUnlearnableKNN(k int) *UnlearnableKNN { return &UnlearnableKNN{K: k} }
+
+// Fit memorizes the training data and marks every row alive.
+func (m *UnlearnableKNN) Fit(d *Dataset) error {
+	inner := NewKNN(m.K)
+	if err := inner.Fit(d); err != nil {
+		return err
+	}
+	m.inner = inner
+	m.dataset = d
+	m.alive = make([]bool, d.Len())
+	for i := range m.alive {
+		m.alive[i] = true
+	}
+	m.nAlive = d.Len()
+	return nil
+}
+
+// Unlearn marks rows as forgotten; subsequent predictions are exactly those
+// of a model retrained without them.
+func (m *UnlearnableKNN) Unlearn(rows []int) error {
+	if m.dataset == nil {
+		return fmt.Errorf("ml: Unlearn before Fit")
+	}
+	for _, r := range rows {
+		if r < 0 || r >= len(m.alive) {
+			return fmt.Errorf("ml: unlearn row %d out of range [0,%d)", r, len(m.alive))
+		}
+		if m.alive[r] {
+			m.alive[r] = false
+			m.nAlive--
+		}
+	}
+	if m.nAlive == 0 {
+		return fmt.Errorf("ml: unlearning emptied the training set")
+	}
+	return nil
+}
+
+// Alive returns the number of remaining training examples.
+func (m *UnlearnableKNN) Alive() int { return m.nAlive }
+
+// Predict votes among the k nearest *alive* training points.
+func (m *UnlearnableKNN) Predict(x []float64) int {
+	if m.dataset == nil {
+		panic("ml: Predict before Fit")
+	}
+	order := m.inner.Neighbors(x)
+	votes := make(map[int]int)
+	counted := 0
+	for _, i := range order {
+		if !m.alive[i] {
+			continue
+		}
+		votes[m.dataset.Y[i]]++
+		counted++
+		if counted == m.K {
+			break
+		}
+	}
+	best, bestV := 0, -1
+	for y := 0; y < m.dataset.NumClasses(); y++ {
+		if votes[y] > bestV {
+			best, bestV = y, votes[y]
+		}
+	}
+	return best
+}
+
+// UnlearnableLogReg is a logistic-regression classifier supporting
+// *approximate* unlearning via a single Newton step: forgetting rows R
+// updates θ ← θ + H⁻¹ Σ_{i∈R} ∇ℓ_i(θ), the influence-function update. The
+// residual gradient norm after the update bounds the approximation error;
+// when it exceeds Tolerance the model falls back to exact retraining, a
+// certified-removal-style guardrail.
+type UnlearnableLogReg struct {
+	L2        float64 // ridge penalty (default 1e-3)
+	Epochs    int     // epochs for (re)fitting (default 300)
+	Tolerance float64 // max residual gradient norm before retraining (default 0.05)
+
+	data     *Dataset
+	alive    []bool
+	nAlive   int
+	theta    []float64 // weights ++ intercept
+	retrains int
+}
+
+// NewUnlearnableLogReg returns an unlearnable logistic model with defaults.
+func NewUnlearnableLogReg() *UnlearnableLogReg {
+	return &UnlearnableLogReg{L2: 1e-3, Epochs: 300, Tolerance: 0.05}
+}
+
+// Retrains reports how many times unlearning fell back to full retraining.
+func (m *UnlearnableLogReg) Retrains() int { return m.retrains }
+
+// Alive returns the number of remaining training examples.
+func (m *UnlearnableLogReg) Alive() int { return m.nAlive }
+
+// Theta returns the current parameter vector (weights ++ intercept).
+func (m *UnlearnableLogReg) Theta() []float64 { return linalg.Clone(m.theta) }
+
+func (m *UnlearnableLogReg) fitAlive() error {
+	var idx []int
+	for i, a := range m.alive {
+		if a {
+			idx = append(idx, i)
+		}
+	}
+	inner := &LogisticRegression{LR: 0.5, Epochs: m.Epochs, L2: m.L2}
+	if err := inner.Fit(m.data.Subset(idx)); err != nil {
+		return err
+	}
+	m.theta = append(append([]float64(nil), inner.Weights()...), inner.Intercept())
+	return nil
+}
+
+// Fit trains on the full dataset.
+func (m *UnlearnableLogReg) Fit(d *Dataset) error {
+	if m.L2 <= 0 {
+		m.L2 = 1e-3
+	}
+	if m.Epochs <= 0 {
+		m.Epochs = 300
+	}
+	if m.Tolerance <= 0 {
+		m.Tolerance = 0.05
+	}
+	m.data = d
+	m.alive = make([]bool, d.Len())
+	for i := range m.alive {
+		m.alive[i] = true
+	}
+	m.nAlive = d.Len()
+	m.retrains = 0
+	return m.fitAlive()
+}
+
+func (m *UnlearnableLogReg) margin(x []float64) float64 {
+	d := len(m.theta) - 1
+	z := m.theta[d]
+	for j := 0; j < d; j++ {
+		z += m.theta[j] * x[j]
+	}
+	return z
+}
+
+// gradAt returns the mean regularized-loss gradient over the alive rows at
+// the current parameters.
+func (m *UnlearnableLogReg) gradAt() []float64 {
+	dim := len(m.theta)
+	d := dim - 1
+	g := make([]float64, dim)
+	for i := 0; i < m.data.Len(); i++ {
+		if !m.alive[i] {
+			continue
+		}
+		p := Sigmoid(m.margin(m.data.Row(i)))
+		errv := p - float64(m.data.Y[i])
+		for j := 0; j < d; j++ {
+			g[j] += errv * m.data.X.At(i, j)
+		}
+		g[d] += errv
+	}
+	inv := 1 / float64(m.nAlive)
+	linalg.Scale(inv, g)
+	for j := 0; j < d; j++ {
+		g[j] += m.L2 * m.theta[j]
+	}
+	return g
+}
+
+// Unlearn forgets the given rows via an influence-style Newton update and
+// verifies the residual optimality gap, retraining when it is too large.
+func (m *UnlearnableLogReg) Unlearn(rows []int) error {
+	if m.data == nil {
+		return fmt.Errorf("ml: Unlearn before Fit")
+	}
+	changed := false
+	for _, r := range rows {
+		if r < 0 || r >= len(m.alive) {
+			return fmt.Errorf("ml: unlearn row %d out of range [0,%d)", r, len(m.alive))
+		}
+		if m.alive[r] {
+			m.alive[r] = false
+			m.nAlive--
+			changed = true
+		}
+	}
+	if m.nAlive == 0 {
+		return fmt.Errorf("ml: unlearning emptied the training set")
+	}
+	if !changed {
+		return nil
+	}
+	// Newton step on the reduced objective from the current parameters
+	dim := len(m.theta)
+	d := dim - 1
+	h := linalg.NewMatrix(dim, dim)
+	xa := make([]float64, dim)
+	for i := 0; i < m.data.Len(); i++ {
+		if !m.alive[i] {
+			continue
+		}
+		copy(xa, m.data.Row(i))
+		xa[d] = 1
+		p := Sigmoid(m.margin(m.data.Row(i)))
+		w := p * (1 - p) / float64(m.nAlive)
+		for a := 0; a < dim; a++ {
+			if xa[a] == 0 {
+				continue
+			}
+			linalg.AXPY(w*xa[a], xa, h.Row(a))
+		}
+	}
+	h.AddScaledIdentity(m.L2)
+	g := m.gradAt()
+	step, err := linalg.SolveSPD(h, g)
+	if err != nil {
+		step = linalg.ConjugateGradient(h, g, 1e-10, 500)
+	}
+	linalg.AXPY(-1, step, m.theta)
+
+	// guardrail: if the post-update gradient is still large, the quadratic
+	// approximation was poor — retrain exactly
+	if linalg.Norm2(m.gradAt()) > m.Tolerance {
+		m.retrains++
+		return m.fitAlive()
+	}
+	return nil
+}
+
+// Predict thresholds the logistic output at 0.5.
+func (m *UnlearnableLogReg) Predict(x []float64) int {
+	if m.theta == nil {
+		panic("ml: Predict before Fit")
+	}
+	if m.margin(x) >= 0 {
+		return 1
+	}
+	return 0
+}
+
+// Proba returns [P(y=0), P(y=1)].
+func (m *UnlearnableLogReg) Proba(x []float64) []float64 {
+	p := Sigmoid(m.margin(x))
+	return []float64{1 - p, p}
+}
+
+// ParameterDistance returns ‖θ_a − θ_b‖₂ between two unlearnable models —
+// used to measure how close unlearning lands to exact retraining.
+func ParameterDistance(a, b *UnlearnableLogReg) float64 {
+	if len(a.theta) != len(b.theta) {
+		return math.Inf(1)
+	}
+	return linalg.Norm2(linalg.Sub(a.theta, b.theta))
+}

@@ -1,0 +1,182 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"nde/internal/frame"
+	"nde/internal/prov"
+)
+
+// Result is the output of executing a pipeline node: a frame plus one
+// provenance polynomial per row.
+type Result struct {
+	Frame *frame.Frame
+	Prov  []prov.Polynomial
+}
+
+// Run executes the DAG rooted at out, memoizing shared sub-plans, tracking
+// provenance through every operator, and feeding registered inspections.
+func (p *Pipeline) Run(out *Node) (*Result, error) {
+	memo := make(map[int]*Result)
+	res, err := p.exec(out, memo)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func (p *Pipeline) exec(n *Node, memo map[int]*Result) (*Result, error) {
+	if r, ok := memo[n.id]; ok {
+		return r, nil
+	}
+	ins := make([]*Result, len(n.inputs))
+	for i, in := range n.inputs {
+		r, err := p.exec(in, memo)
+		if err != nil {
+			return nil, err
+		}
+		ins[i] = r
+	}
+	res, err := p.apply(n, ins)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: node %d %s: %w", n.id, n.label, err)
+	}
+	if len(res.Prov) != res.Frame.NumRows() {
+		return nil, fmt.Errorf("pipeline: node %d %s produced %d provenance entries for %d rows",
+			n.id, n.label, len(res.Prov), res.Frame.NumRows())
+	}
+	for _, insp := range p.inspections {
+		insp.Observe(n, res)
+	}
+	memo[n.id] = res
+	return res, nil
+}
+
+func (p *Pipeline) apply(n *Node, ins []*Result) (*Result, error) {
+	switch n.kind {
+	case KindSource:
+		f := n.sourceFrame
+		polys := make([]prov.Polynomial, f.NumRows())
+		for i := range polys {
+			polys[i] = prov.Var(prov.TupleID{Table: n.sourceName, Row: i})
+		}
+		return &Result{Frame: f, Prov: polys}, nil
+
+	case KindFilter:
+		in := ins[0]
+		out, kept := in.Frame.Filter(n.pred)
+		polys := make([]prov.Polynomial, len(kept))
+		for o, i := range kept {
+			polys[o] = in.Prov[i]
+		}
+		return &Result{Frame: out, Prov: polys}, nil
+
+	case KindJoin:
+		left, right := ins[0], ins[1]
+		jr, err := frame.Join(left.Frame, right.Frame, n.leftOn, n.rightOn, n.joinKind)
+		if err != nil {
+			return nil, err
+		}
+		polys := make([]prov.Polynomial, len(jr.LeftIdx))
+		for o := range jr.LeftIdx {
+			lp := left.Prov[jr.LeftIdx[o]]
+			if ri := jr.RightIdx[o]; ri >= 0 {
+				polys[o] = prov.Mul(lp, right.Prov[ri])
+			} else {
+				polys[o] = lp // left join without a match depends only on the left tuple
+			}
+		}
+		return &Result{Frame: jr.Frame, Prov: polys}, nil
+
+	case KindProject:
+		in := ins[0]
+		out, err := in.Frame.Select(n.columns...)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Frame: out, Prov: in.Prov}, nil
+
+	case KindMapCol:
+		in := ins[0]
+		out, err := in.Frame.Map(n.mapCol, n.mapKind, n.mapFn)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Frame: out, Prov: in.Prov}, nil
+
+	case KindFuzzyJoin:
+		left, right := ins[0], ins[1]
+		jr, err := frame.FuzzyJoin(left.Frame, right.Frame, n.leftOn[0], n.rightOn[0], n.fuzzyDist, frame.FuzzyAllMatches)
+		if err != nil {
+			return nil, err
+		}
+		polys := make([]prov.Polynomial, len(jr.LeftIdx))
+		for o := range jr.LeftIdx {
+			polys[o] = prov.Mul(left.Prov[jr.LeftIdx[o]], right.Prov[jr.RightIdx[o]])
+		}
+		return &Result{Frame: jr.Frame, Prov: polys}, nil
+
+	case KindGroupAgg:
+		in := ins[0]
+		out, members, err := in.Frame.GroupBy(n.groupKeys, n.groupAggs)
+		if err != nil {
+			return nil, err
+		}
+		polys := make([]prov.Polynomial, out.NumRows())
+		for gi, m := range members {
+			poly := prov.Zero()
+			for _, row := range m {
+				poly = prov.Add(poly, in.Prov[row])
+			}
+			polys[gi] = poly
+		}
+		return &Result{Frame: out, Prov: polys}, nil
+
+	case KindConcat:
+		frames := make([]*frame.Frame, len(ins))
+		for i, r := range ins {
+			frames[i] = r.Frame
+		}
+		out, srcFrame, srcRow, err := frame.Concat(frames...)
+		if err != nil {
+			return nil, err
+		}
+		polys := make([]prov.Polynomial, out.NumRows())
+		for o := range polys {
+			polys[o] = ins[srcFrame[o]].Prov[srcRow[o]]
+		}
+		return &Result{Frame: out, Prov: polys}, nil
+	}
+	return nil, fmt.Errorf("unknown node kind %v", n.kind)
+}
+
+// Replay re-executes the pipeline with some source tuples removed, by
+// filtering each source frame before execution. removed maps a source tuple
+// id to true when it should be dropped. This is the ground-truth
+// intervention that provenance polynomials predict; it is used by tests and
+// by exact group-importance computations.
+func (p *Pipeline) Replay(out *Node, removed func(prov.TupleID) bool) (*Result, error) {
+	clone := New()
+	clone.inspections = nil
+	mapping := make(map[int]*Node, len(p.nodes))
+	for _, n := range p.nodes {
+		var nn *Node
+		switch n.kind {
+		case KindSource:
+			kept, _ := n.sourceFrame.Filter(func(r frame.Row) bool {
+				return !removed(prov.TupleID{Table: n.sourceName, Row: r.Index()})
+			})
+			nn = clone.Source(n.sourceName, kept)
+		default:
+			inputs := make([]*Node, len(n.inputs))
+			for i, in := range n.inputs {
+				inputs[i] = mapping[in.id]
+			}
+			c := *n
+			c.inputs = inputs
+			nn = clone.add(&c)
+		}
+		mapping[n.id] = nn
+	}
+	return clone.Run(mapping[out.id])
+}

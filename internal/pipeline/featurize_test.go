@@ -1,0 +1,110 @@
+package pipeline
+
+import (
+	"testing"
+
+	"nde/internal/encode"
+	"nde/internal/frame"
+)
+
+func TestFeaturize(t *testing.T) {
+	p, out := hiringFixture(t)
+	res, err := p.Run(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := encode.NewColumnTransformer(
+		encode.ColumnSpec{Column: "letter", Encoder: encode.NewHashingVectorizer(8)},
+		encode.ColumnSpec{Column: "has_twitter", Encoder: encode.NewOneHotEncoder()},
+	)
+	ft, err := Featurize(res, ct, "sentiment", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft.Data.Len() != 3 {
+		t.Fatalf("rows = %d", ft.Data.Len())
+	}
+	if len(ft.LabelNames) != 2 || ft.LabelNames[0] != "negative" || ft.LabelNames[1] != "positive" {
+		t.Errorf("labels = %v", ft.LabelNames)
+	}
+	// row 0 = person 1 (positive), row 2 = person 4 (negative)
+	if ft.Data.Y[0] != 1 || ft.Data.Y[2] != 0 {
+		t.Errorf("y = %v", ft.Data.Y)
+	}
+	if len(ft.Prov) != 3 {
+		t.Error("provenance lost in featurization")
+	}
+	if len(ft.FeatureNames) != ft.Data.Dim() {
+		t.Errorf("feature names %d vs dim %d", len(ft.FeatureNames), ft.Data.Dim())
+	}
+}
+
+func TestFeaturizeWithGroups(t *testing.T) {
+	data := frame.MustNew(
+		frame.NewFloatSeries("x", []float64{1, 2, 3}, nil),
+		frame.NewStringSeries("y", []string{"a", "b", "a"}, nil),
+		frame.NewStringSeries("sex", []string{"f", "m", "f"}, nil),
+	)
+	p := New()
+	src := p.Source("t", data)
+	res, err := p.Run(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := encode.NewColumnTransformer(encode.ColumnSpec{Column: "x", Encoder: encode.NewStandardScaler()})
+	ft, err := Featurize(res, ct, "y", "sex")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ft.Data.Groups) != 3 || ft.Data.Groups[1] != "m" {
+		t.Errorf("groups = %v", ft.Data.Groups)
+	}
+}
+
+func TestFeaturizeRejectsNullLabels(t *testing.T) {
+	data := frame.MustNew(
+		frame.NewFloatSeries("x", []float64{1}, nil),
+		frame.NewStringSeries("y", []string{""}, []bool{false}),
+	)
+	p := New()
+	res, err := p.Run(p.Source("t", data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := encode.NewColumnTransformer(encode.ColumnSpec{Column: "x", Encoder: encode.NewStandardScaler()})
+	if _, err := Featurize(res, ct, "y", ""); err == nil {
+		t.Error("expected error for null label")
+	}
+}
+
+func TestSourceRowsAndOutputsOf(t *testing.T) {
+	p, out := hiringFixture(t)
+	res, err := p.Run(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := encode.NewColumnTransformer(
+		encode.ColumnSpec{Column: "letter", Encoder: encode.NewHashingVectorizer(4)},
+	)
+	ft, err := Featurize(res, ct, "sentiment", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := ft.SourceRows("train")
+	// output rows come from train rows 0, 2, 3 (persons 1, 3, 4)
+	if len(src) != 3 || src[0][0] != 0 || src[1][0] != 2 || src[2][0] != 3 {
+		t.Errorf("SourceRows = %v", src)
+	}
+	outs := ft.OutputsOf("train", 4)
+	if len(outs[1]) != 0 { // person 2 is finance, filtered out
+		t.Errorf("OutputsOf train[1] = %v", outs[1])
+	}
+	if len(outs[0]) != 1 || outs[0][0] != 0 {
+		t.Errorf("OutputsOf train[0] = %v", outs[0])
+	}
+	// jobs[0] (job 10) supports output rows 0 and 1
+	jOuts := ft.OutputsOf("jobs", 3)
+	if len(jOuts[0]) != 2 {
+		t.Errorf("OutputsOf jobs[0] = %v", jOuts[0])
+	}
+}

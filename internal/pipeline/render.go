@@ -1,0 +1,51 @@
+package pipeline
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderPlan renders the query plan rooted at out as an indented tree, with
+// the output operator first — the textual analogue of the plan
+// visualization in the tutorial's Figure 3.
+func (p *Pipeline) RenderPlan(out *Node) string {
+	var b strings.Builder
+	seen := make(map[int]bool)
+	var walk func(n *Node, depth int)
+	walk = func(n *Node, depth int) {
+		indent := strings.Repeat("  ", depth)
+		if seen[n.id] {
+			fmt.Fprintf(&b, "%s%s (shared, node %d)\n", indent, n.label, n.id)
+			return
+		}
+		seen[n.id] = true
+		fmt.Fprintf(&b, "%s%s\n", indent, n.label)
+		for _, in := range n.inputs {
+			walk(in, depth+1)
+		}
+	}
+	walk(out, 0)
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// Dot renders the plan as a Graphviz digraph for external visualization.
+func (p *Pipeline) Dot(out *Node) string {
+	var b strings.Builder
+	b.WriteString("digraph pipeline {\n  rankdir=BT;\n")
+	seen := make(map[int]bool)
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if seen[n.id] {
+			return
+		}
+		seen[n.id] = true
+		fmt.Fprintf(&b, "  n%d [label=%q];\n", n.id, n.label)
+		for _, in := range n.inputs {
+			walk(in)
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", in.id, n.id)
+		}
+	}
+	walk(out)
+	b.WriteString("}")
+	return b.String()
+}

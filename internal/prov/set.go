@@ -1,0 +1,85 @@
+package prov
+
+import "sort"
+
+// Set is a set of source tuple ids — the "which-provenance" view used when
+// the distinction between alternative derivations does not matter (e.g. for
+// grouping pipeline outputs by the candidate source tuples they depend on).
+type Set map[TupleID]struct{}
+
+// NewSet builds a set from the given ids.
+func NewSet(ids ...TupleID) Set {
+	s := make(Set, len(ids))
+	for _, id := range ids {
+		s[id] = struct{}{}
+	}
+	return s
+}
+
+// Add inserts an id.
+func (s Set) Add(id TupleID) { s[id] = struct{}{} }
+
+// Has reports membership.
+func (s Set) Has(id TupleID) bool {
+	_, ok := s[id]
+	return ok
+}
+
+// Len returns the cardinality.
+func (s Set) Len() int { return len(s) }
+
+// Sorted returns the members in (table, row) order.
+func (s Set) Sorted() []TupleID {
+	out := make([]TupleID, 0, len(s))
+	for id := range s {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Intersect returns the members of s also present in o.
+func (s Set) Intersect(o Set) Set {
+	out := NewSet()
+	for id := range s {
+		if o.Has(id) {
+			out.Add(id)
+		}
+	}
+	return out
+}
+
+// Union returns all members of s and o.
+func (s Set) Union(o Set) Set {
+	out := NewSet()
+	for id := range s {
+		out.Add(id)
+	}
+	for id := range o {
+		out.Add(id)
+	}
+	return out
+}
+
+// Lineage returns the which-provenance of a polynomial: the set of all
+// variables mentioned in any derivation.
+func Lineage(p Polynomial) Set {
+	s := NewSet()
+	for _, v := range p.Vars() {
+		s.Add(v)
+	}
+	return s
+}
+
+// GroupKey is a canonical string form of a tuple-id set, usable as a map key
+// when partitioning pipeline outputs into provenance groups (as Datascope
+// does: outputs that depend on exactly the same candidate source tuples form
+// one additive unit).
+func (s Set) GroupKey() string {
+	ids := s.Sorted()
+	key := ""
+	for _, id := range ids {
+		key += id.String() + "|"
+	}
+	return key
+}

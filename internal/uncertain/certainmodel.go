@@ -1,0 +1,149 @@
+package uncertain
+
+import (
+	"fmt"
+	"math"
+
+	"nde/internal/linalg"
+	"nde/internal/ml"
+)
+
+// CertainModelReport is the result of checking whether a linear regression
+// model can be learned *certainly* despite missing features (Zhen et al.,
+// SIGMOD 2024): does one model minimize the training loss in every possible
+// world of the incomplete data?
+type CertainModelReport struct {
+	// Certain reports whether the complete-rows model is provably optimal
+	// for every completion of the missing cells.
+	Certain bool
+	// Reason explains the verdict.
+	Reason string
+	// Weights and Intercept describe the candidate model (trained on the
+	// complete rows).
+	Weights   []float64
+	Intercept float64
+	// WorstCaseExtraLoss is the maximum additional mean squared error the
+	// candidate can incur over any completion, relative to its
+	// complete-rows loss. ApproximatelyCertain(eps) compares against it.
+	WorstCaseExtraLoss float64
+}
+
+// ApproximatelyCertain reports whether the candidate model is within eps of
+// optimal in every possible world — the relaxation the paper proposes when
+// exact certainty fails.
+func (r *CertainModelReport) ApproximatelyCertain(eps float64) bool {
+	return r.Certain || r.WorstCaseExtraLoss <= eps
+}
+
+// CheckCertainModel decides certain-model existence for least-squares
+// regression over a symbolic design matrix with targets y.
+//
+// The check follows the paper's characterization: fit the minimum-norm
+// least-squares model w on the complete rows; the model is certain iff
+// (a) every feature that is missing somewhere has weight zero in w — so no
+// completion can change the fit through those cells — and (b) every
+// incomplete row has zero residual under w using its observed features, so
+// the row exerts no gradient pressure regardless of its completion. When
+// the check fails, the report carries an exact worst-case extra-loss bound
+// for the candidate over the interval completions.
+func CheckCertainModel(train *SymbolicDataset, y []float64) (*CertainModelReport, error) {
+	if train.Len() == 0 {
+		return nil, fmt.Errorf("uncertain: empty training set")
+	}
+	if len(y) != train.Len() {
+		return nil, fmt.Errorf("uncertain: %d targets for %d rows", len(y), train.Len())
+	}
+	n, d := train.Len(), train.Dim()
+
+	incompleteRow := make([]bool, n)
+	missingFeature := make([]bool, d)
+	var completeIdx []int
+	for i, row := range train.Cells {
+		for j, c := range row {
+			if !c.IsPoint() {
+				incompleteRow[i] = true
+				missingFeature[j] = true
+			}
+		}
+		if !incompleteRow[i] {
+			completeIdx = append(completeIdx, i)
+		}
+	}
+	if len(completeIdx) == 0 {
+		return &CertainModelReport{
+			Certain: false,
+			Reason:  "no complete rows to anchor a candidate model",
+		}, nil
+	}
+
+	// candidate: ridge fit (tiny penalty = minimum-norm tendency) on the
+	// complete rows
+	cx := linalg.NewMatrix(len(completeIdx), d)
+	cy := make([]float64, len(completeIdx))
+	for o, i := range completeIdx {
+		for j := 0; j < d; j++ {
+			cx.Set(o, j, train.Cells[i][j].Lo)
+		}
+		cy[o] = y[i]
+	}
+	reg := ml.NewLinearRegression()
+	if err := reg.FitXY(cx, cy); err != nil {
+		return nil, err
+	}
+	w, b := reg.Weights(), reg.Intercept()
+
+	report := &CertainModelReport{Weights: w, Intercept: b}
+
+	// certainty conditions
+	certain := true
+	reason := "complete-rows model is optimal in every world"
+	// tolerance absorbs the bias of the tiny ridge penalty in the anchor fit
+	const tol = 1e-4
+	for j := 0; j < d; j++ {
+		if missingFeature[j] && math.Abs(w[j]) > tol {
+			certain = false
+			reason = fmt.Sprintf("feature %d is missing somewhere but has weight %.4g", j, w[j])
+			break
+		}
+	}
+	if certain {
+		for i := 0; i < n; i++ {
+			if !incompleteRow[i] {
+				continue
+			}
+			// residual over observed features; missing features contribute 0
+			// because their weights are 0
+			pred := b
+			for j := 0; j < d; j++ {
+				if train.Cells[i][j].IsPoint() {
+					pred += w[j] * train.Cells[i][j].Lo
+				}
+			}
+			if math.Abs(pred-y[i]) > tol {
+				certain = false
+				reason = fmt.Sprintf("incomplete row %d has nonzero residual %.4g", i, pred-y[i])
+				break
+			}
+		}
+	}
+	report.Certain = certain
+	report.Reason = reason
+
+	// exact worst-case extra loss of the fixed candidate over completions:
+	// per row, |error| is maximized at a box corner: |e_center| + Σ|w_j|·r_j
+	baseLoss, worstLoss := 0.0, 0.0
+	for i, row := range train.Cells {
+		eCenter := b - y[i]
+		spread := 0.0
+		for j, c := range row {
+			eCenter += w[j] * c.Center()
+			spread += math.Abs(w[j]) * c.Radius()
+		}
+		centerSq := eCenter * eCenter
+		worstAbs := math.Abs(eCenter) + spread
+		baseLoss += centerSq / float64(n)
+		worstLoss += worstAbs * worstAbs / float64(n)
+	}
+	report.WorstCaseExtraLoss = worstLoss - baseLoss
+	return report, nil
+}

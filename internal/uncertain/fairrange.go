@@ -1,0 +1,223 @@
+package uncertain
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"nde/internal/ml"
+)
+
+// FairnessRange bounds a fairness metric over the possible worlds of an
+// uncertain training set — the consistent-range-approximation idea (Zhu et
+// al., VLDB 2023): instead of reporting one fairness number computed on one
+// arbitrary repair of biased data, report the interval the metric can take
+// across plausible repairs, and certify fairness only when the WHOLE
+// interval is acceptable.
+type FairnessRange struct {
+	// Metric is the fairness violation in the center (imputed) world.
+	Center float64
+	// Range is the empirical [min, max] violation across sampled worlds
+	// (an under-approximation of the true range).
+	Range Interval
+	// Worlds is the number of worlds evaluated.
+	Worlds int
+}
+
+// CertifiablyFair reports whether every evaluated world keeps the violation
+// at or below the threshold. Because the range is sampled, this is a
+// necessary-condition check: a false result is a definitive counterexample,
+// a true result certifies only the evaluated worlds.
+func (f *FairnessRange) CertifiablyFair(threshold float64) bool {
+	return f.Range.Hi <= threshold
+}
+
+// FairnessRangeConfig controls the range estimation.
+type FairnessRangeConfig struct {
+	// Worlds is the number of sampled completions (default 20). Corner
+	// worlds (all-low, all-high) are always added.
+	Worlds int
+	// Seed drives world sampling.
+	Seed int64
+	// NewModel builds the classifier (default logistic regression).
+	NewModel func() ml.Classifier
+	// Pos is the positive class of the fairness metric (default 1).
+	Pos int
+	// Metric computes the violation (default equalized odds difference).
+	Metric func(truth, pred []int, groups []string, pos int) float64
+}
+
+// EstimateFairnessRange trains one model per possible world of the
+// symbolic training data and evaluates the fairness metric on the grouped
+// validation set, returning the induced violation range.
+func EstimateFairnessRange(train *SymbolicDataset, valid *ml.Dataset, cfg FairnessRangeConfig) (*FairnessRange, error) {
+	if train.Len() == 0 {
+		return nil, fmt.Errorf("uncertain: empty training set")
+	}
+	if len(valid.Groups) != valid.Len() || valid.Len() == 0 {
+		return nil, fmt.Errorf("uncertain: validation set must carry protected groups")
+	}
+	worlds := cfg.Worlds
+	if worlds <= 0 {
+		worlds = 20
+	}
+	newModel := cfg.NewModel
+	if newModel == nil {
+		newModel = func() ml.Classifier { return ml.NewLogisticRegression() }
+	}
+	metric := cfg.Metric
+	if metric == nil {
+		metric = ml.EqualizedOddsDifference
+	}
+
+	evalWorld := func(d *ml.Dataset) (float64, error) {
+		m := newModel()
+		if err := m.Fit(d); err != nil {
+			return 0, err
+		}
+		pred := ml.PredictAll(m, valid)
+		return metric(valid.Y, pred, valid.Groups, cfg.Pos), nil
+	}
+
+	center, err := evalWorld(train.Center())
+	if err != nil {
+		return nil, err
+	}
+	res := &FairnessRange{Center: center, Range: Point(center), Worlds: 1}
+	observe := func(v float64) {
+		res.Range = res.Range.Union(Point(v))
+		res.Worlds++
+	}
+	// corner worlds first: extremes often attain the range endpoints
+	for _, hi := range []bool{false, true} {
+		h := hi
+		v, err := evalWorld(train.CornerWorld(func(int, int) bool { return h }))
+		if err != nil {
+			return nil, err
+		}
+		observe(v)
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	for w := 0; w < worlds; w++ {
+		v, err := evalWorld(train.SampleWorld(r))
+		if err != nil {
+			return nil, err
+		}
+		observe(v)
+	}
+	return res, nil
+}
+
+// BiasRobustness quantifies robustness to programmable label bias (Meyer
+// et al., NeurIPS 2021): an adversary may flip up to budget labels of the
+// training set. The check samples flip sets — uniformly and targeted at the
+// points nearest each test point, the adversary's strongest simple strategy
+// for local models — retrains per variant, and reports the fraction of test
+// predictions that never change. 1.0 means no sampled bias within budget
+// moved any prediction.
+type BiasRobustness struct {
+	// RobustFraction is the fraction of test points with unanimous
+	// predictions across all sampled biased datasets.
+	RobustFraction float64
+	// Flipped[i] is true when some sampled bias changed test point i.
+	Flipped []bool
+	// Variants is the number of biased datasets evaluated.
+	Variants int
+}
+
+// EstimateBiasRobustness runs the sampled certification.
+func EstimateBiasRobustness(train, test *ml.Dataset, newModel func() ml.Classifier, budget, variants int, seed int64) (*BiasRobustness, error) {
+	if budget < 0 || budget >= train.Len() {
+		return nil, fmt.Errorf("uncertain: bias budget %d outside [0,%d)", budget, train.Len())
+	}
+	if variants <= 0 {
+		variants = 10
+	}
+	if newModel == nil {
+		newModel = func() ml.Classifier { return ml.NewDecisionTree() }
+	}
+	base := newModel()
+	if err := base.Fit(train); err != nil {
+		return nil, err
+	}
+	basePred := ml.PredictAll(base, test)
+	flipped := make([]bool, test.Len())
+	r := rand.New(rand.NewSource(seed))
+
+	evalVariant := func(rows []int) error {
+		variant := train.Clone()
+		for _, i := range rows {
+			variant.Y[i] = 1 - variant.Y[i]
+		}
+		m := newModel()
+		if err := m.Fit(variant); err != nil {
+			return err
+		}
+		for i := 0; i < test.Len(); i++ {
+			if m.Predict(test.Row(i)) != basePred[i] {
+				flipped[i] = true
+			}
+		}
+		return nil
+	}
+
+	evaluated := 0
+	// uniform random flip sets
+	for v := 0; v < variants; v++ {
+		if err := evalVariant(r.Perm(train.Len())[:budget]); err != nil {
+			return nil, err
+		}
+		evaluated++
+	}
+	// targeted flip sets: the budget nearest training points to each of a
+	// few random test points
+	targets := r.Perm(test.Len())
+	if len(targets) > 5 {
+		targets = targets[:5]
+	}
+	for _, ti := range targets {
+		rows := nearestRows(train, test.Row(ti), budget)
+		if err := evalVariant(rows); err != nil {
+			return nil, err
+		}
+		evaluated++
+	}
+
+	robust := 0
+	for _, f := range flipped {
+		if !f {
+			robust++
+		}
+	}
+	return &BiasRobustness{
+		RobustFraction: float64(robust) / math.Max(1, float64(test.Len())),
+		Flipped:        flipped,
+		Variants:       evaluated,
+	}, nil
+}
+
+func nearestRows(train *ml.Dataset, x []float64, k int) []int {
+	type di struct {
+		d float64
+		i int
+	}
+	ds := make([]di, train.Len())
+	for i := 0; i < train.Len(); i++ {
+		ds[i] = di{ml.EuclideanDistance(train.Row(i), x), i}
+	}
+	// partial selection of the k smallest
+	for sel := 0; sel < k && sel < len(ds); sel++ {
+		min := sel
+		for j := sel + 1; j < len(ds); j++ {
+			if ds[j].d < ds[min].d {
+				min = j
+			}
+		}
+		ds[sel], ds[min] = ds[min], ds[sel]
+	}
+	out := make([]int, 0, k)
+	for i := 0; i < k && i < len(ds); i++ {
+		out = append(out, ds[i].i)
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package uncertain
+
+import (
+	"fmt"
+	"sort"
+
+	"nde/internal/ml"
+)
+
+// DiscreteUncertainty describes one cell with a finite set of candidate
+// values — the dataset-multiplicity setting (Meyer et al., FAccT 2023)
+// where, e.g., a label or categorical attribute is known to be one of a few
+// conflicting records.
+type DiscreteUncertainty struct {
+	Row        int
+	Col        int       // feature column; -1 targets the label
+	Candidates []float64 // candidate feature values, or candidate labels as floats
+}
+
+// MultiplicityResult summarizes training across every possible world of a
+// discretely uncertain dataset.
+type MultiplicityResult struct {
+	// Worlds is the number of enumerated completions.
+	Worlds int
+	// Consistent[i] is true when every world's model predicts the same
+	// label for test point i.
+	Consistent []bool
+	// PredictionSets[i] holds the distinct labels predicted for test point
+	// i across worlds.
+	PredictionSets [][]int
+	// AccuracyRange is the [min, max] test accuracy across worlds.
+	AccuracyRange Interval
+}
+
+// EnumerateWorlds trains one model per possible world of the discrete
+// uncertainties (full cartesian product, capped at maxWorlds to keep the
+// enumeration tractable) and reports prediction consistency on the test
+// set. newModel builds a fresh classifier per world.
+func EnumerateWorlds(base *ml.Dataset, uncertainties []DiscreteUncertainty, test *ml.Dataset, newModel func() ml.Classifier, maxWorlds int) (*MultiplicityResult, error) {
+	if maxWorlds <= 0 {
+		maxWorlds = 1024
+	}
+	total := 1
+	for _, u := range uncertainties {
+		if len(u.Candidates) == 0 {
+			return nil, fmt.Errorf("uncertain: uncertainty at (%d,%d) has no candidates", u.Row, u.Col)
+		}
+		if u.Row < 0 || u.Row >= base.Len() {
+			return nil, fmt.Errorf("uncertain: uncertainty row %d out of range", u.Row)
+		}
+		total *= len(u.Candidates)
+		if total > maxWorlds {
+			return nil, fmt.Errorf("uncertain: %d worlds exceed cap %d; reduce uncertainties or raise the cap", total, maxWorlds)
+		}
+	}
+
+	res := &MultiplicityResult{
+		Worlds:         total,
+		Consistent:     make([]bool, test.Len()),
+		PredictionSets: make([][]int, test.Len()),
+		AccuracyRange:  Interval{1, 0},
+	}
+	seen := make([]map[int]bool, test.Len())
+	for i := range seen {
+		seen[i] = make(map[int]bool)
+	}
+
+	choice := make([]int, len(uncertainties))
+	for w := 0; w < total; w++ {
+		// decode mixed-radix world index
+		idx := w
+		for u := range uncertainties {
+			choice[u] = idx % len(uncertainties[u].Candidates)
+			idx /= len(uncertainties[u].Candidates)
+		}
+		world := base.Clone()
+		for u, unc := range uncertainties {
+			v := unc.Candidates[choice[u]]
+			if unc.Col < 0 {
+				world.Y[unc.Row] = int(v)
+			} else {
+				world.X.Set(unc.Row, unc.Col, v)
+			}
+		}
+		m := newModel()
+		if err := m.Fit(world); err != nil {
+			return nil, err
+		}
+		correct := 0
+		for i := 0; i < test.Len(); i++ {
+			pred := m.Predict(test.Row(i))
+			seen[i][pred] = true
+			if pred == test.Y[i] {
+				correct++
+			}
+		}
+		acc := float64(correct) / float64(test.Len())
+		if w == 0 {
+			res.AccuracyRange = Point(acc)
+		} else {
+			res.AccuracyRange = res.AccuracyRange.Union(Point(acc))
+		}
+	}
+	for i := range seen {
+		res.Consistent[i] = len(seen[i]) == 1
+		for label := range seen[i] {
+			res.PredictionSets[i] = append(res.PredictionSets[i], label)
+		}
+		sort.Ints(res.PredictionSets[i])
+	}
+	return res, nil
+}

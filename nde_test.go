@@ -1,0 +1,308 @@
+package nde
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLoadRecommendationLetters(t *testing.T) {
+	s := LoadRecommendationLetters(200, 1)
+	if s.Train.NumRows() != 120 || s.Valid.NumRows() != 40 || s.Test.NumRows() != 40 {
+		t.Fatalf("split sizes = %d/%d/%d", s.Train.NumRows(), s.Valid.NumRows(), s.Test.NumRows())
+	}
+	// deterministic
+	s2 := LoadRecommendationLetters(200, 1)
+	if !s.Train.Equal(s2.Train) {
+		t.Error("scenario not deterministic")
+	}
+	// splits disjoint by person_id
+	seen := make(map[int64]bool)
+	for _, f := range []*Frame{s.Train, s.Valid, s.Test} {
+		ids := f.MustColumn("person_id")
+		for i := 0; i < ids.Len(); i++ {
+			if seen[ids.Int(i)] {
+				t.Fatal("splits overlap")
+			}
+			seen[ids.Int(i)] = true
+		}
+	}
+}
+
+func TestEvaluateModelLearnsSentiment(t *testing.T) {
+	s := LoadRecommendationLetters(300, 2)
+	acc, err := EvaluateModel(s.Train, s.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.8 {
+		t.Errorf("clean accuracy = %v, want >= 0.8", acc)
+	}
+}
+
+// The Figure-2 walkthrough: inject label errors, observe the accuracy drop,
+// rank with kNN-Shapley, clean the bottom-k, observe recovery.
+func TestFigure2Walkthrough(t *testing.T) {
+	s := LoadRecommendationLetters(300, 3)
+	accClean, err := EvaluateModel(s.Train, s.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirty, corrupted, err := InjectLabelErrors(s.Train, 0.1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accDirty, err := EvaluateModel(dirty, s.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accDirty >= accClean {
+		t.Errorf("label errors did not hurt: clean %v, dirty %v", accClean, accDirty)
+	}
+	scores, err := KNNShapleyValues(dirty, s.Valid, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := len(corrupted)
+	if prec := scores.PrecisionAtK(corrupted, k); prec < 0.5 {
+		t.Errorf("precision@%d = %v, want >= 0.5", k, prec)
+	}
+	// replace the bottom-k with clean ground truth
+	lowest := scores.BottomK(k)
+	repaired := dirty.Clone()
+	for _, i := range lowest {
+		orig, err := s.Train.Value(i, "sentiment")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := repaired.MustColumn("sentiment").Set(i, orig); err != nil {
+			t.Fatal(err)
+		}
+	}
+	accCleaned, err := EvaluateModel(repaired, s.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accCleaned <= accDirty {
+		t.Errorf("prioritized cleaning did not help: dirty %v, cleaned %v", accDirty, accCleaned)
+	}
+}
+
+func TestPrettyPrint(t *testing.T) {
+	s := LoadRecommendationLetters(50, 5)
+	out := PrettyPrint(s.Train, []int{0, 1, 2})
+	if !strings.Contains(out, "letter_text") || !strings.Contains(out, "[3 rows") {
+		t.Errorf("pretty print:\n%s", out)
+	}
+}
+
+func TestFeaturizeLetterSplits(t *testing.T) {
+	s := LoadRecommendationLetters(100, 6)
+	dTrain, dValid, dTest, err := FeaturizeLetterSplits(s.Train, s.Valid, s.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dTrain.Dim() != dValid.Dim() || dValid.Dim() != dTest.Dim() {
+		t.Error("split dims differ")
+	}
+	if dTrain.Len() != 60 || dValid.Len() != 20 || dTest.Len() != 20 {
+		t.Errorf("split sizes = %d/%d/%d", dTrain.Len(), dValid.Len(), dTest.Len())
+	}
+}
+
+// The Figure-3 walkthrough: pipeline plan, provenance, Datascope scores,
+// and removal impact.
+func TestFigure3Walkthrough(t *testing.T) {
+	s := LoadRecommendationLetters(400, 7)
+	dirty, _, err := InjectLabelErrors(s.Train, 0.1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hp := BuildHiringPipeline(dirty, s.Data.Jobs, s.Data.Social)
+	plan := hp.ShowQueryPlan()
+	for _, want := range []string{"Join", "Filter", "MapCol(has_twitter)", "Project", "Source(train"} {
+		if !strings.Contains(plan, want) {
+			t.Errorf("plan missing %q:\n%s", want, plan)
+		}
+	}
+	ft, err := hp.WithProvenance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft.Data.Len() == 0 {
+		t.Fatal("pipeline output empty")
+	}
+	valid, err := hp.FeaturizeValidationLike(s.Valid, s.Data.Jobs, s.Data.Social, hp.Encoder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores, err := hp.DatascopeScores(ft, valid, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != dirty.NumRows() {
+		t.Fatalf("scores len = %d, want %d", len(scores), dirty.NumRows())
+	}
+	// remove the outputs supported by the 25 lowest-importance source rows
+	lowest := make(map[int]bool)
+	for _, i := range scores.BottomK(25) {
+		lowest[i] = true
+	}
+	var removeOutputs []int
+	for o, rows := range ft.SourceRows("train") {
+		for _, r := range rows {
+			if lowest[r] {
+				removeOutputs = append(removeOutputs, o)
+				break
+			}
+		}
+	}
+	before, after, err := RemoveAndEvaluate(ft, removeOutputs, valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after < before-0.05 {
+		t.Errorf("removing lowest-importance rows should not badly hurt: %v -> %v", before, after)
+	}
+}
+
+// The Figure-4 walkthrough: the worst-case loss grows with the percentage
+// of missing values.
+func TestFigure4Walkthrough(t *testing.T) {
+	s := LoadRecommendationLetters(200, 9)
+	dTrain, _, dTest, err := FeaturizeLetterSplits(s.Train, s.Valid, s.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratingFeature := dTrain.Dim() - 1 // employer_rating is the last block
+	var losses []float64
+	for _, pct := range []float64{0.05, 0.25} {
+		sym, missing, err := EncodeSymbolic(dTrain, ratingFeature, pct, MNAR, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(missing) == 0 {
+			t.Fatal("no cells marked missing")
+		}
+		loss, err := EstimateWithZorro(sym, dTest, 10, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		losses = append(losses, loss)
+	}
+	if losses[1] <= losses[0] {
+		t.Errorf("worst-case loss should grow with missingness: %v", losses)
+	}
+}
+
+func TestCertainPredictionFractionAndComparison(t *testing.T) {
+	s := LoadRecommendationLetters(120, 12)
+	dTrain, _, dTest, err := FeaturizeLetterSplits(s.Train, s.Valid, s.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feature := dTrain.Dim() - 1
+	sym, _, err := EncodeSymbolic(dTrain, feature, 0.2, MCAR, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac, flags, err := CertainPredictionFraction(sym, dTest, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flags) != dTest.Len() || frac < 0 || frac > 1 {
+		t.Errorf("certain fraction = %v over %d flags", frac, len(flags))
+	}
+	baseAcc, certainFrac, err := CompareWithImputation(sym, dTest, 8, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseAcc <= 0 || certainFrac < 0 || certainFrac > 1 {
+		t.Errorf("comparison = %v, %v", baseAcc, certainFrac)
+	}
+}
+
+func TestPossibleWorldsFacade(t *testing.T) {
+	s := LoadRecommendationLetters(120, 33)
+	dTrain, _, dTest, err := FeaturizeLetterSplits(s.Train, s.Valid, s.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unc := []DiscreteUncertainty{
+		{Row: 0, Col: -1, Candidates: []float64{0, 1}},
+		{Row: 1, Col: -1, Candidates: []float64{0, 1}},
+	}
+	res, err := PossibleWorlds(dTrain, unc, dTest, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Worlds != 4 {
+		t.Errorf("worlds = %d", res.Worlds)
+	}
+	consistent := 0
+	for _, c := range res.Consistent {
+		if c {
+			consistent++
+		}
+	}
+	// two uncertain labels out of 72 should barely move a 5-NN model
+	if float64(consistent)/float64(len(res.Consistent)) < 0.8 {
+		t.Errorf("only %d/%d predictions consistent", consistent, len(res.Consistent))
+	}
+}
+
+func TestPrettyPrintWithScores(t *testing.T) {
+	s := LoadRecommendationLetters(60, 41)
+	scores, err := KNNShapleyValues(s.Train, s.Valid, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := PrettyPrintWithScores(s.Train, scores.BottomK(3), scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "importance") || !strings.Contains(out, "[3 rows") {
+		t.Errorf("display:\n%s", out)
+	}
+	if _, err := PrettyPrintWithScores(s.Train, []int{0}, Scores{1}); err == nil {
+		t.Error("expected score-length error")
+	}
+}
+
+func TestGroupShapleyScoresFacade(t *testing.T) {
+	s := LoadRecommendationLetters(200, 51)
+	hp := BuildHiringPipeline(s.Train, s.Data.Jobs, s.Data.Social)
+	ft, err := hp.WithProvenance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid, err := hp.FeaturizeValidationLike(s.Valid, s.Data.Jobs, s.Data.Social, hp.Encoder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores, err := hp.GroupShapleyScores(ft, valid, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != s.Train.NumRows() {
+		t.Fatalf("scores = %d", len(scores))
+	}
+	// group Shapley and additive Datascope should broadly agree on ranking
+	additive, err := hp.DatascopeScores(ft, valid, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// compare bottom-10 overlap
+	inBottom := make(map[int]bool)
+	for _, i := range additive.BottomK(10) {
+		inBottom[i] = true
+	}
+	overlap := 0
+	for _, i := range scores.BottomK(10) {
+		if inBottom[i] {
+			overlap++
+		}
+	}
+	if overlap < 3 {
+		t.Errorf("group vs additive bottom-10 overlap = %d", overlap)
+	}
+}

@@ -1,0 +1,92 @@
+package nde
+
+import (
+	"nde/internal/ml"
+	"nde/internal/uncertain"
+)
+
+// MissingnessMechanism selects how injected missing values are distributed
+// (re-export of uncertain.Missingness).
+type MissingnessMechanism = uncertain.Missingness
+
+// Missingness mechanisms for EncodeSymbolic.
+const (
+	MCAR = uncertain.MCAR
+	MAR  = uncertain.MAR
+	MNAR = uncertain.MNAR
+)
+
+// EncodeSymbolic marks a fraction of one feature's cells as missing under
+// the chosen mechanism, bounded by the feature's observed range — the Go
+// analogue of nde.encode_symbolic(train_df, uncertain_feature=...,
+// missing_percentage=..., missingness="MNAR"). It returns the symbolic
+// dataset and the affected row indices.
+func EncodeSymbolic(d *Dataset, feature int, percentage float64, mech MissingnessMechanism, seed int64) (*SymbolicDataset, []int, error) {
+	return uncertain.EncodeSymbolic(d, feature, percentage, mech, seed)
+}
+
+// EstimateWithZorro propagates the symbolic training uncertainty through
+// model training and returns the maximum worst-case test loss across the
+// possible models — the Go analogue of nde.estimate_with_zorro(
+// X_train_symb, test_df).
+func EstimateWithZorro(train *SymbolicDataset, test *Dataset, worlds int, seed int64) (float64, error) {
+	z := &uncertain.Zorro{Worlds: worlds, Seed: seed}
+	res, err := z.Analyze(train, test)
+	if err != nil {
+		return 0, err
+	}
+	return res.WorstCaseLoss, nil
+}
+
+// ZorroAnalysis runs the full Zorro analysis, returning prediction ranges,
+// certainty flags and both the sampled and the sound worst-case estimates.
+func ZorroAnalysis(train *SymbolicDataset, test *Dataset, worlds int, seed int64) (*uncertain.ZorroResult, error) {
+	z := &uncertain.Zorro{Worlds: worlds, Seed: seed}
+	return z.Analyze(train, test)
+}
+
+// CertainPredictionFraction reports the fraction of test points whose kNN
+// prediction is provably identical in every completion of the symbolic
+// training data (CPClean).
+func CertainPredictionFraction(train *SymbolicDataset, test *Dataset, k int) (float64, []bool, error) {
+	testX := make([][]float64, test.Len())
+	for i := range testX {
+		testX[i] = test.Row(i)
+	}
+	return uncertain.NewCPClean(k).CertainFraction(train, testX)
+}
+
+// DiscreteUncertainty re-exports the possible-worlds cell description.
+type DiscreteUncertainty = uncertain.DiscreteUncertainty
+
+// MultiplicityResult re-exports the possible-worlds analysis result.
+type MultiplicityResult = uncertain.MultiplicityResult
+
+// PossibleWorlds enumerates every completion of discretely uncertain cells
+// (e.g. conflicting labels — the dataset-multiplicity problem), trains the
+// default model per world, and reports which test predictions are
+// consistent across all worlds.
+func PossibleWorlds(base *Dataset, uncertainties []DiscreteUncertainty, test *Dataset, maxWorlds int) (*MultiplicityResult, error) {
+	return uncertain.EnumerateWorlds(base, uncertainties, test,
+		func() ml.Classifier { return DefaultModel() }, maxWorlds)
+}
+
+// CompareWithImputation contrasts the uncertainty-aware analysis with the
+// mean-imputation baseline: it returns the baseline model's test accuracy
+// (trained on the box centers) and the fraction of test points whose
+// prediction is stable across the sampled possible models.
+func CompareWithImputation(train *SymbolicDataset, test *Dataset, worlds int, seed int64) (baselineAcc, certainFrac float64, err error) {
+	res, err := ZorroAnalysis(train, test, worlds, seed)
+	if err != nil {
+		return 0, 0, err
+	}
+	baselineAcc = ml.Accuracy(test.Y, ml.PredictAll(res.Center, test))
+	certain := 0
+	for _, c := range res.Certain {
+		if c {
+			certain++
+		}
+	}
+	certainFrac = float64(certain) / float64(len(res.Certain))
+	return baselineAcc, certainFrac, nil
+}
