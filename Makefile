@@ -1,0 +1,17 @@
+# Standard entry points; see README.md § Testing.
+
+.PHONY: build test check bench
+
+build:
+	go build ./...
+
+# tier-1: what CI must keep green
+test:
+	go build ./... && go test ./...
+
+# full gate: vet + gofmt + build + race-detector tests
+check:
+	sh scripts/check.sh
+
+bench:
+	go test -bench=. -benchmem ./...

@@ -12,6 +12,7 @@ import (
 	"nde/internal/exp"
 	"nde/internal/importance"
 	"nde/internal/ml"
+	"nde/internal/obs"
 )
 
 func BenchmarkE1Figure2KNNShapleyCleaning(b *testing.B) {
@@ -244,6 +245,74 @@ func BenchmarkHiringPipelineRun(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		hp := nde.BuildHiringPipeline(s.Train, s.Data.Jobs, s.Data.Social)
 		if _, err := hp.WithProvenance(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- observability overhead on the hot paths ---
+//
+// The obs-off sub-benchmarks are the disabled-by-default contract: with
+// observability off, the instrumented pipeline.Run and kNN-Shapley paths
+// must show no measurable time regression and no extra allocations
+// relative to the seed (compare allocs/op between off and on to see what
+// instrumentation itself costs).
+
+func BenchmarkPipelineRunObs(b *testing.B) {
+	s := nde.LoadRecommendationLetters(500, 9)
+	hp := nde.BuildHiringPipeline(s.Train, s.Data.Jobs, s.Data.Social)
+	for _, mode := range []string{"off", "on"} {
+		b.Run(mode, func(b *testing.B) {
+			if mode == "on" {
+				obs.Enable()
+				obs.DefaultTracer().CaptureAllocs(false)
+				defer func() {
+					obs.Disable()
+					obs.Reset()
+					obs.DefaultTracer().CaptureAllocs(true)
+				}()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := hp.Pipeline.Run(hp.Output); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkKNNShapleyObs(b *testing.B) {
+	train, valid := benchDataset(b, 200)
+	for _, mode := range []string{"off", "on"} {
+		b.Run(mode, func(b *testing.B) {
+			if mode == "on" {
+				obs.Enable()
+				obs.DefaultTracer().CaptureAllocs(false)
+				defer func() {
+					obs.Disable()
+					obs.Reset()
+					obs.DefaultTracer().CaptureAllocs(true)
+				}()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := importance.KNNShapley(5, train, valid); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkKNNShapleyParallelObsOff(b *testing.B) {
+	train, valid := benchDataset(b, 200)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := importance.KNNShapleyParallel(5, train, valid, 0); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -28,6 +28,7 @@ import (
 	"nde/internal/datagen"
 	"nde/internal/exp"
 	"nde/internal/importance"
+	"nde/internal/obs"
 )
 
 func main() {
@@ -35,7 +36,19 @@ func main() {
 	seed := flag.Int64("seed", 42, "random seed")
 	budget := flag.Int("budget", 30, "oracle repair budget")
 	interactive := flag.Bool("interactive", false, "play on stdin instead of running scripted contestants")
+	metrics := flag.String("metrics", "", "dump metrics to this file on exit (Prometheus text; JSON when the path ends in .json)")
+	trace := flag.String("trace", "", "dump the span trace tree to this file on exit")
 	flag.Parse()
+
+	if *metrics != "" || *trace != "" {
+		obs.Enable()
+	}
+	defer func() {
+		if err := obs.DumpFiles(*metrics, *trace); err != nil {
+			fmt.Fprintln(os.Stderr, "nde-challenge:", err)
+			os.Exit(1)
+		}
+	}()
 
 	if !*interactive {
 		r, err := exp.E9Challenge(*n, *seed)

@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"nde/internal/datagen"
+	"nde/internal/obs"
 )
 
 func main() {
@@ -22,9 +23,24 @@ func main() {
 	seed := flag.Int64("seed", 42, "random seed")
 	flip := flag.Float64("flip", 0, "fraction of sentiment labels to flip")
 	missing := flag.Float64("missing", 0, "fraction of employer_rating values to null out (MNAR)")
+	metrics := flag.String("metrics", "", "dump metrics to this file on exit (Prometheus text; JSON when the path ends in .json)")
+	trace := flag.String("trace", "", "dump the span trace tree to this file on exit")
 	flag.Parse()
 
+	if *metrics != "" || *trace != "" {
+		obs.Enable()
+	}
+	defer func() {
+		if err := obs.DumpFiles(*metrics, *trace); err != nil {
+			fmt.Fprintln(os.Stderr, "nde-datagen:", err)
+			os.Exit(1)
+		}
+	}()
+
+	gsp := obs.StartSpan("datagen.hiring")
+	gsp.SetInt("n", int64(*n))
 	h := datagen.Hiring(datagen.Config{N: *n, Seed: *seed})
+	gsp.SetInt("letters", int64(h.Letters.NumRows())).End()
 	letters := h.Letters
 	if *flip > 0 {
 		dirty, corrupted, err := datagen.InjectLabelErrors(letters, "sentiment", *flip, *seed+1)

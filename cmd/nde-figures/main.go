@@ -13,13 +13,26 @@ import (
 	"strings"
 
 	"nde/internal/exp"
+	"nde/internal/obs"
 )
 
 func main() {
 	n := flag.Int("n", 300, "scenario size (number of recommendation letters)")
 	seed := flag.Int64("seed", 42, "random seed")
 	only := flag.String("only", "", "run a single experiment id (e.g. E3); empty = all")
+	metrics := flag.String("metrics", "", "dump metrics to this file on exit (Prometheus text; JSON when the path ends in .json)")
+	trace := flag.String("trace", "", "dump the span trace tree to this file on exit")
 	flag.Parse()
+
+	if *metrics != "" || *trace != "" {
+		obs.Enable()
+	}
+	defer func() {
+		if err := obs.DumpFiles(*metrics, *trace); err != nil {
+			fmt.Fprintln(os.Stderr, "nde-figures:", err)
+			os.Exit(1)
+		}
+	}()
 
 	type experiment struct {
 		id  string
@@ -159,11 +172,15 @@ func main() {
 		if *only != "" && !strings.EqualFold(*only, e.id) {
 			continue
 		}
+		sp := obs.StartSpan("figures.experiment")
+		sp.SetStr("id", e.id)
 		table, extra, err := e.run()
+		sp.End()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "nde-figures: %s: %v\n", e.id, err)
 			os.Exit(1)
 		}
+		obs.Inc("figures_experiments_total")
 		fmt.Println(table)
 		if extra != "" {
 			fmt.Println(extra)

@@ -4,7 +4,13 @@
 //
 // Usage:
 //
-//	nde-pipeline [-n 300] [-seed 42] [-dot]
+//	nde-pipeline [-n 300] [-seed 42] [-dot] [-metrics out.prom] [-trace out.txt]
+//
+// With -metrics and/or -trace, observability is enabled for the run: the
+// metrics registry is dumped to the given file on exit (Prometheus text
+// format, or JSON when the path ends in .json), the span tree — one span
+// per pipeline operator with rows in/out and wall time — goes to the trace
+// file, and the printed query plan is annotated with per-operator costs.
 package main
 
 import (
@@ -13,6 +19,7 @@ import (
 	"os"
 
 	"nde"
+	"nde/internal/obs"
 	"nde/internal/pipeline"
 )
 
@@ -20,14 +27,35 @@ func main() {
 	n := flag.Int("n", 300, "scenario size")
 	seed := flag.Int64("seed", 42, "random seed")
 	dot := flag.Bool("dot", false, "also print the Graphviz dot form of the plan")
+	metrics := flag.String("metrics", "", "dump metrics to this file on exit (Prometheus text; JSON when the path ends in .json)")
+	trace := flag.String("trace", "", "dump the span trace tree to this file on exit")
 	flag.Parse()
 
-	s := nde.LoadRecommendationLetters(*n, *seed)
+	if *metrics != "" || *trace != "" {
+		obs.Enable()
+	}
+	err := run(*n, *seed, *dot)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nde-pipeline:", err)
+	}
+	if derr := obs.DumpFiles(*metrics, *trace); derr != nil {
+		fmt.Fprintln(os.Stderr, "nde-pipeline:", derr)
+		if err == nil {
+			err = derr
+		}
+	}
+	if err != nil {
+		os.Exit(1)
+	}
+}
+
+func run(n int, seed int64, dot bool) error {
+	s := nde.LoadRecommendationLetters(n, seed)
 	hp := nde.BuildHiringPipeline(s.Train, s.Data.Jobs, s.Data.Social)
 
 	fmt.Println("pipeline query plan:")
 	fmt.Println(hp.ShowQueryPlan())
-	if *dot {
+	if dot {
 		fmt.Println("\ndot:")
 		fmt.Println(hp.Pipeline.Dot(hp.Output))
 	}
@@ -39,12 +67,17 @@ func main() {
 
 	ft, err := hp.WithProvenance()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "nde-pipeline:", err)
-		os.Exit(1)
+		return err
 	}
 	fmt.Printf("\noutput: %d rows x %d features (%d labels)\n",
 		ft.Data.Len(), ft.Data.Dim(), len(ft.LabelNames))
 	fmt.Printf("output row count at sink operator: %d\n", rows.Counts[hp.Output.ID()])
+
+	if rs := hp.Pipeline.LastRunStats(); rs != nil {
+		fmt.Printf("\nannotated query plan (last run: %s, %d memo hits / %d misses):\n",
+			rs.Wall, rs.MemoHits, rs.MemoMisses)
+		fmt.Println(hp.Pipeline.RenderPlanWithCosts(hp.Output))
+	}
 
 	shift, node := dist.MaxShift(hp.Pipeline, hp.Output)
 	if node != nil {
@@ -67,8 +100,7 @@ func main() {
 
 	issues, err := pipeline.ScreenLeakage(s.Train, s.Test, []string{"person_id"})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "nde-pipeline:", err)
-		os.Exit(1)
+		return err
 	}
 	if len(issues) == 0 {
 		fmt.Println("screening: no train/test leakage detected")
@@ -76,4 +108,5 @@ func main() {
 	for _, is := range issues {
 		fmt.Println("screening:", is)
 	}
+	return nil
 }

@@ -3,7 +3,8 @@
 // We build the preprocessing pipeline over the hiring scenario — joining
 // the letters with job details and social-media side data, filtering to the
 // healthcare sector, deriving has_twitter, and encoding features — then run
-// it with fine-grained provenance, compute Datascope importance of the
+// it with fine-grained provenance, inspect the annotated query plan to see
+// where pipeline time is spent, compute Datascope importance of the
 // *source* tuples, and measure the effect of removing the lowest-importance
 // ones.
 //
@@ -15,9 +16,14 @@ import (
 	"log"
 
 	"nde"
+	"nde/internal/obs"
 )
 
 func main() {
+	// Turn on observability so pipeline runs collect per-operator stats
+	// and spans (the cmd binaries do this via -metrics/-trace flags).
+	obs.Enable()
+
 	scenario := nde.LoadRecommendationLetters(400, 42)
 	trainErr, _, err := nde.InjectLabelErrors(scenario.Train, 0.1, 7)
 	if err != nil {
@@ -33,6 +39,14 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nPipeline output: %d rows x %d features\n", ft.Data.Len(), ft.Data.Dim())
+
+	// The annotated plan shows where the time went: each operator carries
+	// rows in/out, self wall time, and memo reuse from the run above.
+	if rs := pipe.Pipeline.LastRunStats(); rs != nil {
+		fmt.Printf("\nAnnotated query plan (run took %s, %d operators executed):\n",
+			rs.Wall, rs.MemoMisses)
+		fmt.Println(pipe.Pipeline.RenderPlanWithCosts(pipe.Output))
+	}
 
 	valid, err := pipe.FeaturizeValidationLike(scenario.Valid, scenario.Data.Jobs, scenario.Data.Social, pipe.Encoder)
 	if err != nil {

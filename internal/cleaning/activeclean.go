@@ -6,6 +6,7 @@ import (
 
 	"nde/internal/linalg"
 	"nde/internal/ml"
+	"nde/internal/obs"
 )
 
 // GradientStrategy implements ActiveClean-style prioritization (Krishnan et
@@ -33,6 +34,10 @@ func (s *GradientStrategy) Rank(train, valid *ml.Dataset) ([]int, error) {
 	if epochs <= 0 {
 		epochs = 200
 	}
+	sp := obs.StartSpan("activeclean.rank")
+	sp.SetInt("rows", int64(train.Len())).SetInt("epochs", int64(epochs))
+	defer sp.End()
+	obs.Inc("activeclean_rank_calls_total")
 	m := &ml.LogisticRegression{LR: 0.5, Epochs: epochs, L2: l2}
 	if err := m.Fit(train); err != nil {
 		return nil, err
@@ -49,6 +54,11 @@ func (s *GradientStrategy) Rank(train, valid *ml.Dataset) ([]int, error) {
 			xn += v * v
 		}
 		norms[i] = math.Abs(residual) * math.Sqrt(xn)
+	}
+	if obs.Enabled() {
+		for _, nv := range norms {
+			obs.ObserveWith("activeclean_gradient_norm", nv, obs.ExpBuckets(0.01, 4, 8))
+		}
 	}
 	order := make([]int, train.Len())
 	for i := range order {

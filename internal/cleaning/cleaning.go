@@ -12,6 +12,7 @@ import (
 
 	"nde/internal/importance"
 	"nde/internal/ml"
+	"nde/internal/obs"
 )
 
 // Oracle supplies ground-truth repairs for chosen training rows. In the
@@ -171,16 +172,25 @@ func IterativeClean(
 	if budget < 0 {
 		return nil, fmt.Errorf("cleaning: negative budget %d", budget)
 	}
+	sp := obs.StartSpan("cleaning.run")
+	sp.SetStr("strategy", strat.Name()).SetInt("budget", int64(budget)).SetInt("batch", int64(batch))
+	defer sp.End()
+	prog := obs.NewProgress("cleaning_budget", budget)
+	defer prog.Done()
+
 	cur := train.Clone()
 	acc, err := ml.EvaluateAccuracy(newModel(), cur, test)
 	if err != nil {
 		return nil, err
 	}
+	obs.SetGauge("cleaning_accuracy", acc)
 	res := &Result{Strategy: strat.Name(), Curve: []CurvePoint{{Cleaned: 0, Accuracy: acc}}}
 	cleaned := make(map[int]bool)
 	for len(cleaned) < budget && len(cleaned) < train.Len() {
+		rsp := obs.StartSpan("cleaning.round")
 		order, err := strat.Rank(cur, valid)
 		if err != nil {
+			rsp.End()
 			return nil, err
 		}
 		var next []int
@@ -193,10 +203,12 @@ func IterativeClean(
 			}
 		}
 		if len(next) == 0 {
+			rsp.End()
 			break
 		}
 		cur, err = oracle.Clean(cur, next)
 		if err != nil {
+			rsp.End()
 			return nil, err
 		}
 		for _, i := range next {
@@ -204,9 +216,16 @@ func IterativeClean(
 		}
 		acc, err = ml.EvaluateAccuracy(newModel(), cur, test)
 		if err != nil {
+			rsp.End()
 			return nil, err
 		}
 		res.Curve = append(res.Curve, CurvePoint{Cleaned: len(cleaned), Accuracy: acc})
+		obs.Inc("cleaning_rounds_total")
+		obs.Count("cleaning_rows_cleaned_total", int64(len(next)))
+		obs.SetGauge("cleaning_accuracy", acc)
+		prog.Tick(len(next))
+		rsp.SetInt("cleaned", int64(len(next))).SetInt("total_cleaned", int64(len(cleaned))).
+			SetStr("accuracy", fmt.Sprintf("%.4f", acc)).End()
 	}
 	res.Final = cur
 	return res, nil

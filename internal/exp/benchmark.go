@@ -7,6 +7,7 @@ import (
 	"nde/internal/datagen"
 	"nde/internal/importance"
 	"nde/internal/ml"
+	"nde/internal/obs"
 )
 
 // E18Result carries the error-type × method detection matrix.
@@ -87,6 +88,11 @@ func E18DetectionBenchmark(n int, seed int64) (*E18Result, error) {
 			"dead weight for kNN-Shapley (value ~0, never retrieved) while uncertainty scores flag them",
 	}
 	res := &E18Result{Table: t, Precision: make(map[string]map[string]float64)}
+	bsp := obs.StartSpan("exp.e18_detection_benchmark")
+	bsp.SetInt("n", int64(n)).SetInt("cells", int64(len(corruptions)*len(methods)))
+	defer bsp.End()
+	prog := obs.NewProgress("e18_cells", len(corruptions)*len(methods))
+	defer prog.Done()
 	for _, c := range corruptions {
 		train, corrupted, err := c.corrupt()
 		if err != nil {
@@ -96,13 +102,20 @@ func E18DetectionBenchmark(n int, seed int64) (*E18Result, error) {
 		row := []string{c.name, fmt.Sprintf("%d", k)}
 		res.Precision[c.name] = make(map[string]float64)
 		for _, m := range methods {
+			msp := obs.StartSpan("exp.e18_method")
+			msp.SetStr("error_type", c.name).SetStr("method", m.name).SetInt("rows", int64(train.Len()))
 			scores, err := m.run(train)
 			if err != nil {
+				msp.End()
 				return nil, fmt.Errorf("exp: %s on %s: %w", m.name, c.name, err)
 			}
 			prec := scores.PrecisionAtK(corrupted, k)
 			res.Precision[c.name][m.name] = prec
 			row = append(row, f3(prec))
+			obs.Inc("exp_benchmark_method_runs_total")
+			obs.ObserveWith("exp_benchmark_precision_at_k", prec, obs.LinearBuckets(0.1, 0.1, 10))
+			prog.Tick(1)
+			msp.SetStr("precision_at_k", f3(prec)).End()
 		}
 		t.AddRow(row...)
 	}

@@ -5,6 +5,7 @@ import (
 
 	"nde/internal/linalg"
 	"nde/internal/ml"
+	"nde/internal/obs"
 	"nde/internal/pipeline"
 	"nde/internal/prov"
 )
@@ -47,6 +48,9 @@ func Datascope(ft *pipeline.Featurized, valid *ml.Dataset, table string, tableRo
 	if k <= 0 {
 		k = 1
 	}
+	sp := obs.StartSpan("importance.datascope")
+	sp.SetStr("table", table).SetInt("table_rows", int64(tableRows)).SetInt("outputs", int64(ft.Data.Len()))
+	defer sp.End()
 	rowScores, err := KNNShapley(k, ft.Data, valid)
 	if err != nil {
 		return nil, err
@@ -132,6 +136,10 @@ func GroupShapley(ft *pipeline.Featurized, valid *ml.Dataset, table string, tabl
 		}
 		return base(rows)
 	}
+
+	sp := obs.StartSpan("importance.group_shapley")
+	sp.SetStr("table", table).SetInt("groups", int64(len(groups)))
+	defer sp.End()
 
 	var groupScores Scores
 	var err error

@@ -5,6 +5,7 @@ import (
 
 	"nde/internal/linalg"
 	"nde/internal/ml"
+	"nde/internal/obs"
 )
 
 // InfluenceConfig controls the influence-function computation.
@@ -40,6 +41,9 @@ func Influence(train, valid *ml.Dataset, cfg InfluenceConfig) (Scores, error) {
 	if epochs <= 0 {
 		epochs = 300
 	}
+	sp := obs.StartSpan("importance.influence")
+	sp.SetInt("train", int64(train.Len())).SetInt("valid", int64(valid.Len())).SetInt("dim", int64(train.Dim()))
+	defer sp.End()
 	model := &ml.LogisticRegression{LR: 0.5, Epochs: epochs, L2: l2}
 	if err := model.Fit(train); err != nil {
 		return nil, err

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"nde/internal/ml"
+	"nde/internal/obs"
 )
 
 // KNNShapley computes exact Shapley values for the k-nearest-neighbor
@@ -31,12 +32,19 @@ func KNNShapley(k int, train, valid *ml.Dataset) (Scores, error) {
 	if train.Dim() != valid.Dim() {
 		return nil, fmt.Errorf("importance: dimension mismatch %d vs %d", train.Dim(), valid.Dim())
 	}
+	sp := obs.StartSpan("importance.knnshapley")
+	sp.SetInt("k", int64(k)).SetInt("train", int64(train.Len())).SetInt("valid", int64(valid.Len()))
+	defer sp.End()
+	prog := obs.NewProgress("knnshapley", valid.Len())
+	defer prog.Done()
+
 	n := train.Len()
 	scores := make(Scores, n)
 	order := make([]int, n)
 	dists := make([]float64, n)
 	s := make([]float64, n)
 	for v := 0; v < valid.Len(); v++ {
+		prog.Tick(1)
 		x, y := valid.Row(v), valid.Y[v]
 		for i := 0; i < n; i++ {
 			dists[i] = ml.EuclideanDistance(train.Row(i), x)

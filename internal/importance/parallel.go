@@ -5,9 +5,30 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"nde/internal/ml"
+	"nde/internal/obs"
 )
+
+// ParallelStats reports how a parallel importance computation actually
+// ran. It surfaces the resolved worker count — previously invisible when
+// the requested count was 0 (auto) or clamped to the number of validation
+// points — so callers and tests can assert on it.
+type ParallelStats struct {
+	// RequestedWorkers is the caller-supplied worker count (<= 0 = auto).
+	RequestedWorkers int
+	// Workers is the resolved count actually used: GOMAXPROCS when auto,
+	// then clamped to the number of validation points.
+	Workers int
+	// Points is the number of validation points processed.
+	Points int
+	// PerWorker[w] is the number of validation points worker w processed;
+	// its spread shows pool utilization balance.
+	PerWorker []int
+	// Wall is the end-to-end time of the parallel section.
+	Wall time.Duration
+}
 
 // KNNShapleyParallel computes the same exact kNN-Shapley values as
 // KNNShapley using a worker pool over validation points. Results are
@@ -15,21 +36,41 @@ import (
 // computed independently and the final reduction sums them in validation-
 // point order, so float summation order never depends on scheduling.
 func KNNShapleyParallel(k int, train, valid *ml.Dataset, workers int) (Scores, error) {
+	scores, _, err := KNNShapleyParallelStats(k, train, valid, workers)
+	return scores, err
+}
+
+// KNNShapleyParallelStats is KNNShapleyParallel returning ParallelStats
+// alongside the scores. The resolved worker count is also exported as the
+// importance_knnshapley_workers gauge, and per-worker utilization is
+// recorded into the importance_knnshapley_points_per_worker histogram.
+func KNNShapleyParallelStats(k int, train, valid *ml.Dataset, workers int) (Scores, *ParallelStats, error) {
 	if k < 1 {
-		return nil, fmt.Errorf("importance: kNN-Shapley requires K >= 1, got %d", k)
+		return nil, nil, fmt.Errorf("importance: kNN-Shapley requires K >= 1, got %d", k)
 	}
 	if train.Len() == 0 || valid.Len() == 0 {
-		return nil, fmt.Errorf("importance: kNN-Shapley needs non-empty train (%d) and valid (%d)", train.Len(), valid.Len())
+		return nil, nil, fmt.Errorf("importance: kNN-Shapley needs non-empty train (%d) and valid (%d)", train.Len(), valid.Len())
 	}
 	if train.Dim() != valid.Dim() {
-		return nil, fmt.Errorf("importance: dimension mismatch %d vs %d", train.Dim(), valid.Dim())
+		return nil, nil, fmt.Errorf("importance: dimension mismatch %d vs %d", train.Dim(), valid.Dim())
 	}
+	stats := &ParallelStats{RequestedWorkers: workers, Points: valid.Len()}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > valid.Len() {
 		workers = valid.Len()
 	}
+	stats.Workers = workers
+	stats.PerWorker = make([]int, workers)
+	obs.SetGauge("importance_knnshapley_workers", float64(workers))
+
+	sp := obs.StartSpan("importance.knnshapley_parallel")
+	sp.SetInt("k", int64(k)).SetInt("train", int64(train.Len())).
+		SetInt("valid", int64(valid.Len())).SetInt("workers", int64(workers))
+	prog := obs.NewProgress("knnshapley_parallel", valid.Len())
+	start := time.Now()
+
 	n := train.Len()
 	// per-validation-point contribution vectors, indexed by validation point
 	contribs := make([][]float64, valid.Len())
@@ -37,7 +78,7 @@ func KNNShapleyParallel(k int, train, valid *ml.Dataset, workers int) (Scores, e
 	jobs := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			order := make([]int, n)
 			dists := make([]float64, n)
@@ -65,14 +106,24 @@ func KNNShapleyParallel(k int, train, valid *ml.Dataset, workers int) (Scores, e
 					c[order[j]] = s[j]
 				}
 				contribs[v] = c
+				stats.PerWorker[w]++ // w-private slot; published by wg.Wait
+				prog.Tick(1)
 			}
-		}()
+		}(w)
 	}
 	for v := 0; v < valid.Len(); v++ {
 		jobs <- v
 	}
 	close(jobs)
 	wg.Wait()
+	stats.Wall = time.Since(start)
+	prog.Done()
+	if obs.Enabled() {
+		for _, cnt := range stats.PerWorker {
+			obs.ObserveWith("importance_knnshapley_points_per_worker", float64(cnt), obs.ExpBuckets(1, 2, 13))
+		}
+	}
+	sp.End()
 
 	scores := make(Scores, n)
 	for v := 0; v < valid.Len(); v++ { // fixed reduction order
@@ -84,5 +135,5 @@ func KNNShapleyParallel(k int, train, valid *ml.Dataset, workers int) (Scores, e
 	for i := range scores {
 		scores[i] *= inv
 	}
-	return scores, nil
+	return scores, stats, nil
 }

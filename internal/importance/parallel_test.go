@@ -2,8 +2,11 @@ package importance
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
 	"testing/quick"
+
+	"nde/internal/obs"
 )
 
 func TestKNNShapleyParallelMatchesSequential(t *testing.T) {
@@ -51,6 +54,91 @@ func TestQuickKNNShapleyParallelDeterministic(t *testing.T) {
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)
+	}
+}
+
+// The worker-count edge cases: workers <= 0 resolves to GOMAXPROCS,
+// oversubscription clamps to the number of validation points, and the
+// resolved count — previously silent — is surfaced in ParallelStats.
+func TestKNNShapleyParallelStatsWorkerResolution(t *testing.T) {
+	train := blobs(60, 1.5, 705)
+	valid := blobs(7, 1.5, 706)
+
+	scores, stats, err := KNNShapleyParallelStats(5, train, valid, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RequestedWorkers != 0 {
+		t.Errorf("requested = %d, want 0", stats.RequestedWorkers)
+	}
+	wantAuto := runtime.GOMAXPROCS(0)
+	if wantAuto > valid.Len() {
+		wantAuto = valid.Len()
+	}
+	if stats.Workers != wantAuto {
+		t.Errorf("auto workers = %d, want %d", stats.Workers, wantAuto)
+	}
+
+	_, stats, err = KNNShapleyParallelStats(5, train, valid, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Workers != valid.Len() {
+		t.Errorf("clamped workers = %d, want %d", stats.Workers, valid.Len())
+	}
+	if stats.Points != valid.Len() {
+		t.Errorf("points = %d, want %d", stats.Points, valid.Len())
+	}
+	if len(stats.PerWorker) != stats.Workers {
+		t.Fatalf("per-worker has %d slots for %d workers", len(stats.PerWorker), stats.Workers)
+	}
+	total := 0
+	for _, c := range stats.PerWorker {
+		total += c
+	}
+	if total != valid.Len() {
+		t.Errorf("per-worker sum = %d, want %d", total, valid.Len())
+	}
+	if stats.Wall <= 0 {
+		t.Errorf("wall = %v, want > 0", stats.Wall)
+	}
+
+	// stats collection must not perturb the scores
+	seq, err := KNNShapley(5, train, valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq {
+		if seq[i] != scores[i] {
+			t.Fatalf("score %d differs: %v vs %v", i, seq[i], scores[i])
+		}
+	}
+}
+
+// With obs enabled, the resolved worker count is exported as a gauge.
+func TestKNNShapleyParallelWorkerGauge(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+	defer obs.Reset()
+	obs.Reset()
+	train := blobs(40, 1.5, 707)
+	valid := blobs(9, 1.5, 708)
+	_, stats, err := KNNShapleyParallelStats(3, train, valid, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Workers != 4 {
+		t.Fatalf("workers = %d, want 4", stats.Workers)
+	}
+	if got := obs.Default().Gauge("importance_knnshapley_workers").Value(); got != 4 {
+		t.Errorf("worker gauge = %v, want 4", got)
+	}
+	h := obs.Default().Histogram("importance_knnshapley_points_per_worker", nil)
+	if got := h.Count(); got != 4 {
+		t.Errorf("per-worker histogram count = %d, want 4", got)
+	}
+	if got := h.Sum(); got != 9 {
+		t.Errorf("per-worker histogram sum = %v, want 9", got)
 	}
 }
 

@@ -3,6 +3,8 @@ package importance
 import (
 	"fmt"
 	"math/rand"
+
+	"nde/internal/obs"
 )
 
 // MCShapleyConfig controls the Monte-Carlo permutation estimator of the
@@ -31,6 +33,11 @@ func MCShapley(n int, u Utility, cfg MCShapleyConfig) (Scores, error) {
 	if perms <= 0 {
 		perms = 100
 	}
+	sp := obs.StartSpan("importance.mcshapley")
+	sp.SetInt("n", int64(n)).SetInt("permutations", int64(perms))
+	defer sp.End()
+	prog := obs.NewProgress("mcshapley_permutations", perms)
+	defer prog.Done()
 	r := rand.New(rand.NewSource(cfg.Seed))
 
 	uEmpty, err := u(nil)
@@ -46,6 +53,7 @@ func MCShapley(n int, u Utility, cfg MCShapleyConfig) (Scores, error) {
 		return nil, err
 	}
 
+	evals, truncations := int64(2), int64(0)
 	scores := make(Scores, n)
 	subset := make([]int, 0, n)
 	for p := 0; p < perms; p++ {
@@ -62,16 +70,22 @@ func MCShapley(n int, u Utility, cfg MCShapleyConfig) (Scores, error) {
 			if err != nil {
 				return nil, err
 			}
+			evals++
 			scores[i] += cur - prev
 			prev = cur
 			if cfg.Truncation > 0 && abs(uFull-cur) < cfg.Truncation {
 				truncated = true
+				truncations++
 			}
 		}
+		prog.Tick(1)
 	}
 	for i := range scores {
 		scores[i] /= float64(perms)
 	}
+	obs.Count("importance_mc_utility_evals_total", evals)
+	obs.Count("importance_mc_truncations_total", truncations)
+	sp.SetInt("utility_evals", evals).SetInt("truncations", truncations)
 	return scores, nil
 }
 

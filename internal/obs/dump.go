@@ -1,0 +1,37 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// DumpFiles writes the default registry and tracer to the given paths and
+// is the implementation behind the cmd binaries' -metrics/-trace flags.
+// An empty path skips that dump. The metrics file is Prometheus text
+// format unless the path ends in .json, in which case it is the JSON
+// export. The trace file is the indented span tree.
+func DumpFiles(metricsPath, tracePath string) error {
+	if metricsPath != "" {
+		var b strings.Builder
+		var err error
+		if strings.HasSuffix(metricsPath, ".json") {
+			err = defaultRegistry.WriteJSON(&b)
+		} else {
+			err = defaultRegistry.WritePrometheus(&b)
+		}
+		if err != nil {
+			return fmt.Errorf("obs: encoding metrics: %w", err)
+		}
+		if err := os.WriteFile(metricsPath, []byte(b.String()), 0o644); err != nil {
+			return fmt.Errorf("obs: writing metrics: %w", err)
+		}
+	}
+	if tracePath != "" {
+		tree := defaultTracer.Render()
+		if err := os.WriteFile(tracePath, []byte(tree+"\n"), 0o644); err != nil {
+			return fmt.Errorf("obs: writing trace: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Progress tracks a long-running loop: completed units, processing rate
+// and estimated time to completion. It mirrors itself into two gauges
+// (progress_<name>_done / progress_<name>_total) so a metrics dump taken
+// mid-run shows how far each loop has come, and observes its total elapsed
+// seconds into progress_<name>_seconds on Done.
+type Progress struct {
+	name  string
+	total int64
+	done  atomic.Int64
+	start time.Time
+
+	reg       *Registry // nil for the shared no-op progress
+	doneGauge *Gauge
+}
+
+var noopProgress = &Progress{}
+
+// NewProgress starts tracking a loop of total units on the default
+// registry. While observability is disabled it returns a shared no-op
+// progress and performs no allocation.
+func NewProgress(name string, total int) *Progress {
+	if !Enabled() {
+		return noopProgress
+	}
+	name = Sanitize(name)
+	p := &Progress{name: name, total: int64(total), start: time.Now(), reg: defaultRegistry}
+	defaultRegistry.Gauge("progress_" + name + "_total").Set(float64(total))
+	p.doneGauge = defaultRegistry.Gauge("progress_" + name + "_done")
+	p.doneGauge.Set(0)
+	return p
+}
+
+// Tick records n completed units. Safe for concurrent use.
+func (p *Progress) Tick(n int) {
+	if p.reg == nil {
+		return
+	}
+	d := p.done.Add(int64(n))
+	p.doneGauge.Set(float64(d))
+}
+
+// Done finalizes the loop, recording its elapsed seconds into the
+// progress_<name>_seconds histogram.
+func (p *Progress) Done() {
+	if p.reg == nil {
+		return
+	}
+	p.reg.Histogram("progress_"+p.name+"_seconds", nil).Observe(time.Since(p.start).Seconds())
+}
+
+// ProgressSnapshot is a point-in-time view of a Progress.
+type ProgressSnapshot struct {
+	Name    string
+	Done    int64
+	Total   int64
+	Elapsed time.Duration
+	Rate    float64       // units per second
+	ETA     time.Duration // zero when the rate is unknown or the loop is done
+}
+
+// Snapshot returns the current state. The no-op progress returns a zero
+// snapshot.
+func (p *Progress) Snapshot() ProgressSnapshot {
+	if p.reg == nil {
+		return ProgressSnapshot{}
+	}
+	done := p.done.Load()
+	elapsed := time.Since(p.start)
+	s := ProgressSnapshot{Name: p.name, Done: done, Total: p.total, Elapsed: elapsed}
+	if elapsed > 0 {
+		s.Rate = float64(done) / elapsed.Seconds()
+	}
+	if s.Rate > 0 && done < p.total {
+		s.ETA = time.Duration(float64(p.total-done) / s.Rate * float64(time.Second))
+	}
+	return s
+}
+
+// String renders the snapshot as "name 30/100 (12.3/s, ETA 5.7s)".
+func (s ProgressSnapshot) String() string {
+	if s.Total <= 0 {
+		return fmt.Sprintf("%s %d (%.1f/s)", s.Name, s.Done, s.Rate)
+	}
+	return fmt.Sprintf("%s %d/%d (%.1f/s, ETA %s)", s.Name, s.Done, s.Total, s.Rate, s.ETA.Round(time.Millisecond))
+}

@@ -1,0 +1,224 @@
+package obs
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key string
+	Val string
+}
+
+// Str builds a string attribute.
+func Str(key, val string) Attr { return Attr{Key: key, Val: val} }
+
+// Int builds an integer attribute.
+func Int(key string, val int64) Attr { return Attr{Key: key, Val: strconv.FormatInt(val, 10)} }
+
+// Span records one timed region of work: wall time, allocation deltas
+// (from runtime.MemStats) and arbitrary attributes such as row counts.
+// Spans started while another span is open on the same tracer become its
+// children, mirroring the call structure of a single orchestration
+// goroutine; concurrent worker goroutines should report through metrics
+// and Progress instead of spans.
+type Span struct {
+	tracer *Tracer // nil for the shared no-op span
+	name   string
+	attrs  []Attr
+	parent *Span
+
+	start       time.Time
+	wall        time.Duration
+	startAllocs uint64 // MemStats.Mallocs at start
+	startBytes  uint64 // MemStats.TotalAlloc at start
+	allocs      uint64
+	bytes       uint64
+	ended       bool
+
+	children []*Span
+}
+
+var noopSpan = &Span{}
+
+// StartSpan begins a span on the default tracer. While observability is
+// disabled it returns a shared no-op span and performs no allocation.
+func StartSpan(name string, attrs ...Attr) *Span {
+	if !Enabled() {
+		return noopSpan
+	}
+	return defaultTracer.StartSpan(name, attrs...)
+}
+
+// SetStr attaches a string attribute; chainable. No-op on the no-op span.
+func (s *Span) SetStr(key, val string) *Span {
+	if s.tracer == nil {
+		return s
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Val: val})
+	return s
+}
+
+// SetInt attaches an integer attribute; chainable. No-op on the no-op
+// span.
+func (s *Span) SetInt(key string, val int64) *Span {
+	if s.tracer == nil {
+		return s
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Val: strconv.FormatInt(val, 10)})
+	return s
+}
+
+// SetRows attaches the conventional rows_in/rows_out attributes.
+func (s *Span) SetRows(in, out int) *Span {
+	return s.SetInt("rows_in", int64(in)).SetInt("rows_out", int64(out))
+}
+
+// End closes the span, recording wall time and allocation deltas.
+func (s *Span) End() {
+	if s.tracer == nil || s.ended {
+		return
+	}
+	s.wall = time.Since(s.start)
+	if s.tracer.captureAllocs {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		s.allocs = m.Mallocs - s.startAllocs
+		s.bytes = m.TotalAlloc - s.startBytes
+	}
+	s.ended = true
+	s.tracer.end(s)
+}
+
+// Name returns the span name ("" for the no-op span).
+func (s *Span) Name() string { return s.name }
+
+// Duration returns the recorded wall time (zero until End).
+func (s *Span) Duration() time.Duration { return s.wall }
+
+// Allocs returns the number of heap objects allocated while the span was
+// open (inclusive of children; zero when allocation capture is off).
+func (s *Span) Allocs() uint64 { return s.allocs }
+
+// Bytes returns the heap bytes allocated while the span was open.
+func (s *Span) Bytes() uint64 { return s.bytes }
+
+// Attrs returns the span's attributes in insertion order.
+func (s *Span) Attrs() []Attr { return s.attrs }
+
+// Children returns the nested spans in start order.
+func (s *Span) Children() []*Span { return s.children }
+
+// Attr returns the value of the named attribute and whether it was set.
+func (s *Span) Attr(key string) (string, bool) {
+	for _, a := range s.attrs {
+		if a.Key == key {
+			return a.Val, true
+		}
+	}
+	return "", false
+}
+
+// Tracer collects spans into trees. The zero value is not usable; call
+// NewTracer.
+type Tracer struct {
+	mu            sync.Mutex
+	roots         []*Span
+	cur           *Span
+	captureAllocs bool
+}
+
+// NewTracer returns an empty tracer with allocation capture on.
+func NewTracer() *Tracer { return &Tracer{captureAllocs: true} }
+
+// CaptureAllocs toggles runtime.MemStats sampling per span (on by
+// default). Turning it off removes the stop-the-world reads that
+// ReadMemStats performs, at the cost of losing allocation columns.
+func (t *Tracer) CaptureAllocs(on bool) {
+	t.mu.Lock()
+	t.captureAllocs = on
+	t.mu.Unlock()
+}
+
+// StartSpan begins a span as a child of the innermost open span (or as a
+// new root).
+func (t *Tracer) StartSpan(name string, attrs ...Attr) *Span {
+	s := &Span{tracer: t, name: name, attrs: attrs}
+	t.mu.Lock()
+	s.parent = t.cur
+	if s.parent != nil {
+		s.parent.children = append(s.parent.children, s)
+	} else {
+		t.roots = append(t.roots, s)
+	}
+	t.cur = s
+	capture := t.captureAllocs
+	t.mu.Unlock()
+	if capture {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		s.startAllocs = m.Mallocs
+		s.startBytes = m.TotalAlloc
+	}
+	s.start = time.Now()
+	return s
+}
+
+func (t *Tracer) end(s *Span) {
+	t.mu.Lock()
+	if t.cur == s {
+		t.cur = s.parent
+	}
+	t.mu.Unlock()
+}
+
+// Roots returns the completed and open root spans in start order.
+func (t *Tracer) Roots() []*Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]*Span(nil), t.roots...)
+}
+
+// Reset drops all collected spans.
+func (t *Tracer) Reset() {
+	t.mu.Lock()
+	t.roots = nil
+	t.cur = nil
+	t.mu.Unlock()
+}
+
+// Render returns the span forest as a flame-style indented trace: one line
+// per span with wall time, allocation deltas and attributes, children
+// indented under their parent.
+func (t *Tracer) Render() string {
+	var b strings.Builder
+	for _, root := range t.Roots() {
+		renderSpan(&b, root, 0)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+func renderSpan(b *strings.Builder, s *Span, depth int) {
+	b.WriteString(strings.Repeat("  ", depth))
+	b.WriteString(s.name)
+	if s.ended {
+		fmt.Fprintf(b, " %s", s.wall.Round(time.Microsecond))
+		if s.allocs > 0 || s.bytes > 0 {
+			fmt.Fprintf(b, " allocs=%d bytes=%d", s.allocs, s.bytes)
+		}
+	} else {
+		b.WriteString(" (open)")
+	}
+	for _, a := range s.attrs {
+		fmt.Fprintf(b, " %s=%s", a.Key, a.Val)
+	}
+	b.WriteByte('\n')
+	for _, c := range s.children {
+		renderSpan(b, c, depth+1)
+	}
+}

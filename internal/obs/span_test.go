@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpanTreeNesting(t *testing.T) {
+	tr := NewTracer()
+	tr.CaptureAllocs(false)
+	root := tr.StartSpan("root", Str("phase", "run"))
+	c1 := tr.StartSpan("child1")
+	g := tr.StartSpan("grandchild")
+	g.SetRows(10, 5)
+	g.End()
+	c1.End()
+	c2 := tr.StartSpan("child2", Int("n", 7))
+	c2.End()
+	root.End()
+
+	roots := tr.Roots()
+	if len(roots) != 1 || roots[0].Name() != "root" {
+		t.Fatalf("roots = %v", roots)
+	}
+	kids := roots[0].Children()
+	if len(kids) != 2 || kids[0].Name() != "child1" || kids[1].Name() != "child2" {
+		t.Fatalf("children of root wrong: %v", kids)
+	}
+	gk := kids[0].Children()
+	if len(gk) != 1 || gk[0].Name() != "grandchild" {
+		t.Fatalf("grandchild missing: %v", gk)
+	}
+	if v, ok := gk[0].Attr("rows_out"); !ok || v != "5" {
+		t.Errorf("rows_out attr = %q, %v", v, ok)
+	}
+
+	out := tr.Render()
+	lines := strings.Split(out, "\n")
+	if len(lines) != 4 {
+		t.Fatalf("render has %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "root ") {
+		t.Errorf("line 0 = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "  child1 ") {
+		t.Errorf("line 1 = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "    grandchild ") || !strings.Contains(lines[2], "rows_in=10 rows_out=5") {
+		t.Errorf("line 2 = %q", lines[2])
+	}
+	if !strings.HasPrefix(lines[3], "  child2 ") || !strings.Contains(lines[3], "n=7") {
+		t.Errorf("line 3 = %q", lines[3])
+	}
+}
+
+func TestSpanRecordsDurationAndAllocs(t *testing.T) {
+	tr := NewTracer()
+	s := tr.StartSpan("work")
+	var sink [][]byte
+	for i := 0; i < 200; i++ {
+		sink = append(sink, make([]byte, 64))
+	}
+	time.Sleep(time.Millisecond)
+	s.End()
+	_ = sink
+	if s.Duration() < time.Millisecond {
+		t.Errorf("duration = %v, want >= 1ms", s.Duration())
+	}
+	if s.Allocs() < 100 {
+		t.Errorf("allocs = %d, want >= 100", s.Allocs())
+	}
+	if s.Bytes() < 64*100 {
+		t.Errorf("bytes = %d, want >= %d", s.Bytes(), 64*100)
+	}
+}
+
+func TestSpanOpenRender(t *testing.T) {
+	tr := NewTracer()
+	tr.CaptureAllocs(false)
+	tr.StartSpan("never_ended")
+	if out := tr.Render(); !strings.Contains(out, "never_ended (open)") {
+		t.Errorf("open span not marked: %q", out)
+	}
+}
+
+// The no-op contract: with observability disabled, the full instrumented
+// call pattern — span start/annotate/end, counters, gauges, histograms,
+// progress — performs zero heap allocations.
+func TestNoopModeZeroAllocations(t *testing.T) {
+	Disable()
+	Reset()
+	allocs := testing.AllocsPerRun(200, func() {
+		sp := StartSpan("pipeline.op")
+		sp.SetStr("kind", "Filter").SetInt("node", 3).SetRows(100, 40)
+		Inc("pipeline_memo_hits_total")
+		Count("rows_total", 40)
+		SetGauge("workers", 8)
+		Observe("latency_seconds", 0.1)
+		ObserveWith("batch_size", 12, nil)
+		p := NewProgress("loop", 100)
+		p.Tick(1)
+		p.Done()
+		_ = p.Snapshot()
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Errorf("no-op instrumentation allocated %v objects per run, want 0", allocs)
+	}
+}
+
+func TestProgressSnapshotAndMetrics(t *testing.T) {
+	Enable()
+	defer Disable()
+	defer Reset()
+	Reset()
+	p := NewProgress("clean loop", 10) // name gets sanitized
+	p.Tick(3)
+	p.Tick(1)
+	s := p.Snapshot()
+	if s.Done != 4 || s.Total != 10 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.Rate <= 0 {
+		t.Errorf("rate = %v, want > 0", s.Rate)
+	}
+	if s.ETA <= 0 {
+		t.Errorf("eta = %v, want > 0", s.ETA)
+	}
+	if str := s.String(); !strings.Contains(str, "4/10") {
+		t.Errorf("snapshot string = %q", str)
+	}
+	if got := Default().Gauge("progress_clean_loop_done").Value(); got != 4 {
+		t.Errorf("done gauge = %v, want 4", got)
+	}
+	if got := Default().Gauge("progress_clean_loop_total").Value(); got != 10 {
+		t.Errorf("total gauge = %v, want 10", got)
+	}
+	p.Done()
+	if got := Default().Histogram("progress_clean_loop_seconds", nil).Count(); got != 1 {
+		t.Errorf("seconds histogram count = %d, want 1", got)
+	}
+}
+
+func TestDumpFiles(t *testing.T) {
+	Enable()
+	defer Disable()
+	defer Reset()
+	Reset()
+	Inc("dump_runs_total")
+	sp := StartSpan("dump_root")
+	sp.SetRows(3, 2)
+	sp.End()
+
+	dir := t.TempDir()
+	prom := dir + "/m.prom"
+	jsonPath := dir + "/m.json"
+	trace := dir + "/t.txt"
+	if err := DumpFiles(prom, trace); err != nil {
+		t.Fatal(err)
+	}
+	if err := DumpFiles(jsonPath, ""); err != nil {
+		t.Fatal(err)
+	}
+	mustContain(t, prom, "# TYPE dump_runs_total counter")
+	mustContain(t, prom, "dump_runs_total 1")
+	mustContain(t, jsonPath, `"dump_runs_total": 1`)
+	mustContain(t, trace, "dump_root")
+	mustContain(t, trace, "rows_out=2")
+}
+
+func mustContain(t *testing.T, path, needle string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading %s: %v", path, err)
+	}
+	if !strings.Contains(string(data), needle) {
+		t.Errorf("%s does not contain %q:\n%s", path, needle, data)
+	}
+}

@@ -2,8 +2,10 @@ package pipeline
 
 import (
 	"fmt"
+	"time"
 
 	"nde/internal/frame"
+	"nde/internal/obs"
 	"nde/internal/prov"
 )
 
@@ -14,40 +16,142 @@ type Result struct {
 	Prov  []prov.Polynomial
 }
 
-// Run executes the DAG rooted at out, memoizing shared sub-plans, tracking
-// provenance through every operator, and feeding registered inspections.
-func (p *Pipeline) Run(out *Node) (*Result, error) {
-	memo := make(map[int]*Result)
-	res, err := p.exec(out, memo)
-	if err != nil {
-		return nil, err
-	}
-	return res, nil
+// NodeStats records the cost of one operator during a Run.
+type NodeStats struct {
+	Node    int
+	Kind    Kind
+	Label   string
+	RowsIn  int
+	RowsOut int
+	// Wall is the operator's self time (apply only, excluding inputs and
+	// inspections).
+	Wall time.Duration
+	// MemoHits counts how many times the operator's memoized result was
+	// reused by other consumers during the run; a shared sub-plan executes
+	// once and accumulates hits.
+	MemoHits int
 }
 
-func (p *Pipeline) exec(n *Node, memo map[int]*Result) (*Result, error) {
+// RunStats summarizes one Run: total wall time and the memoization
+// behavior that was previously invisible. MemoMisses equals the number of
+// operators actually executed; MemoHits counts reuses of shared sub-plans.
+type RunStats struct {
+	Wall       time.Duration
+	MemoHits   int
+	MemoMisses int
+	Nodes      map[int]*NodeStats
+}
+
+// Run executes the DAG rooted at out, memoizing shared sub-plans, tracking
+// provenance through every operator, and feeding registered inspections.
+// Per-operator stats are collected when obs is enabled or CollectStats was
+// requested; otherwise the run is instrumentation-free (no extra
+// allocations).
+func (p *Pipeline) Run(out *Node) (*Result, error) {
+	res, _, err := p.run(out, false)
+	return res, err
+}
+
+// RunWithStats executes like Run and always collects per-operator stats,
+// returning them alongside the result. The stats are also retained for
+// LastRunStats / RenderPlanWithCosts.
+func (p *Pipeline) RunWithStats(out *Node) (*Result, *RunStats, error) {
+	return p.run(out, true)
+}
+
+func (p *Pipeline) run(out *Node, forceStats bool) (*Result, *RunStats, error) {
+	var rs *RunStats
+	if forceStats || p.collectStats || obs.Enabled() {
+		rs = &RunStats{Nodes: make(map[int]*NodeStats, len(p.nodes))}
+	}
+	sp := obs.StartSpan("pipeline.run")
+	start := time.Now()
+	memo := make(map[int]*Result)
+	res, err := p.exec(out, memo, rs)
+	if err != nil {
+		sp.SetStr("error", err.Error()).End()
+		return nil, nil, err
+	}
+	if rs != nil {
+		rs.Wall = time.Since(start)
+		p.statsMu.Lock()
+		p.lastRun = rs
+		p.statsMu.Unlock()
+		sp.SetInt("memo_hits", int64(rs.MemoHits)).SetInt("memo_misses", int64(rs.MemoMisses))
+	}
+	obs.Inc("pipeline_runs_total")
+	sp.SetInt("rows_out", int64(res.Frame.NumRows())).End()
+	return res, rs, nil
+}
+
+// LastRunStats returns the stats of the most recent stats-collecting Run
+// of this pipeline (nil if none). The returned value must be treated as
+// read-only.
+func (p *Pipeline) LastRunStats() *RunStats {
+	p.statsMu.Lock()
+	defer p.statsMu.Unlock()
+	return p.lastRun
+}
+
+// CollectStats forces per-operator stat collection on every Run of this
+// pipeline, independent of the global obs switch. Off by default to keep
+// Run allocation-free.
+func (p *Pipeline) CollectStats(on bool) { p.collectStats = on }
+
+func (p *Pipeline) exec(n *Node, memo map[int]*Result, rs *RunStats) (*Result, error) {
 	if r, ok := memo[n.id]; ok {
+		if rs != nil {
+			rs.MemoHits++
+			if st := rs.Nodes[n.id]; st != nil {
+				st.MemoHits++
+			}
+		}
+		obs.Inc("pipeline_memo_hits_total")
 		return r, nil
 	}
+	sp := obs.StartSpan("pipeline.op")
+	sp.SetStr("kind", n.kind.String()).SetInt("node", int64(n.id))
 	ins := make([]*Result, len(n.inputs))
 	for i, in := range n.inputs {
-		r, err := p.exec(in, memo)
+		r, err := p.exec(in, memo, rs)
 		if err != nil {
+			sp.End()
 			return nil, err
 		}
 		ins[i] = r
 	}
+	rowsIn := 0
+	for _, in := range ins {
+		rowsIn += in.Frame.NumRows()
+	}
+	applyStart := time.Now()
 	res, err := p.apply(n, ins)
 	if err != nil {
+		sp.SetStr("error", err.Error()).End()
 		return nil, fmt.Errorf("pipeline: node %d %s: %w", n.id, n.label, err)
 	}
+	self := time.Since(applyStart)
 	if len(res.Prov) != res.Frame.NumRows() {
+		sp.End()
 		return nil, fmt.Errorf("pipeline: node %d %s produced %d provenance entries for %d rows",
 			n.id, n.label, len(res.Prov), res.Frame.NumRows())
 	}
 	for _, insp := range p.inspections {
 		insp.Observe(n, res)
 	}
+	if rs != nil {
+		rs.MemoMisses++
+		rs.Nodes[n.id] = &NodeStats{
+			Node:    n.id,
+			Kind:    n.kind,
+			Label:   n.label,
+			RowsIn:  rowsIn,
+			RowsOut: res.Frame.NumRows(),
+			Wall:    self,
+		}
+	}
+	obs.Inc("pipeline_memo_misses_total")
+	sp.SetStr("label", n.label).SetRows(rowsIn, res.Frame.NumRows()).End()
 	memo[n.id] = res
 	return res, nil
 }

@@ -11,6 +11,7 @@ package pipeline
 
 import (
 	"fmt"
+	"sync"
 
 	"nde/internal/frame"
 )
@@ -101,6 +102,10 @@ func (n *Node) Inputs() []*Node { return n.inputs }
 type Pipeline struct {
 	nodes       []*Node
 	inspections []Inspection
+
+	collectStats bool
+	statsMu      sync.Mutex
+	lastRun      *RunStats
 }
 
 // New returns an empty pipeline.

@@ -3,6 +3,7 @@ package pipeline
 import (
 	"fmt"
 	"strings"
+	"time"
 )
 
 // RenderPlan renders the query plan rooted at out as an indented tree, with
@@ -26,6 +27,46 @@ func (p *Pipeline) RenderPlan(out *Node) string {
 	}
 	walk(out, 0)
 	return strings.TrimRight(b.String(), "\n")
+}
+
+// RenderPlanWithCosts renders the query plan like RenderPlan, annotating
+// each operator with its cost from the most recent stats-collecting run:
+// rows in/out, self wall time, and memo reuse for shared sub-plans. Nodes
+// without stats (never executed, or stats collection off) render plain.
+func (p *Pipeline) RenderPlanWithCosts(out *Node) string {
+	rs := p.LastRunStats()
+	var b strings.Builder
+	seen := make(map[int]bool)
+	var walk func(n *Node, depth int)
+	walk = func(n *Node, depth int) {
+		indent := strings.Repeat("  ", depth)
+		if seen[n.id] {
+			fmt.Fprintf(&b, "%s%s (shared, node %d)\n", indent, n.label, n.id)
+			return
+		}
+		seen[n.id] = true
+		fmt.Fprintf(&b, "%s%s%s\n", indent, n.label, costSuffix(rs, n.id))
+		for _, in := range n.inputs {
+			walk(in, depth+1)
+		}
+	}
+	walk(out, 0)
+	return strings.TrimRight(b.String(), "\n")
+}
+
+func costSuffix(rs *RunStats, id int) string {
+	if rs == nil {
+		return ""
+	}
+	st, ok := rs.Nodes[id]
+	if !ok {
+		return ""
+	}
+	suffix := fmt.Sprintf("  [%d→%d rows, %s", st.RowsIn, st.RowsOut, st.Wall.Round(time.Microsecond))
+	if st.MemoHits > 0 {
+		suffix += fmt.Sprintf(", reused ×%d", st.MemoHits)
+	}
+	return suffix + "]"
 }
 
 // Dot renders the plan as a Graphviz digraph for external visualization.

@@ -1,0 +1,24 @@
+#!/bin/sh
+# check.sh — the repo's pre-merge gate: vet, formatting, build, and the
+# full test suite under the race detector. `make check` runs this.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> gofmt -l"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "OK"
