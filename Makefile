@@ -1,6 +1,6 @@
 # Standard entry points; see README.md § Testing.
 
-.PHONY: build test check bench
+.PHONY: build test check bench bench-all
 
 build:
 	go build ./...
@@ -13,5 +13,10 @@ test:
 check:
 	sh scripts/check.sh
 
+# tracked hot-path benchmarks -> BENCH_importance.json (perf trajectory)
 bench:
+	sh scripts/bench.sh
+
+# every benchmark in the repo, untracked
+bench-all:
 	go test -bench=. -benchmem ./...

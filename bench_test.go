@@ -6,6 +6,8 @@ package nde_test
 // for the full-size human-readable tables.
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"nde"
@@ -316,4 +318,53 @@ func BenchmarkKNNShapleyParallelObsOff(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// MCShapleyParallel worker-count scaling on the retraining utility: the
+// per-permutation seeds make every worker count bit-identical, so this
+// measures pure scheduling overhead vs. parallel speedup. Expect
+// near-linear scaling from 1 to GOMAXPROCS on a multicore runner.
+func BenchmarkMCShapleyParallel(b *testing.B) {
+	train, valid := benchDataset(b, 200)
+	u := importance.AccuracyUtility(func() ml.Classifier { return ml.NewKNN(5) }, train, valid)
+	cfg := importance.MCShapleyConfig{Permutations: 10, Seed: 42, Truncation: 0.01}
+	workerCounts := []int{1, 2, 4}
+	if p := runtime.GOMAXPROCS(0); p > 4 {
+		workerCounts = append(workerCounts, p)
+	}
+	for _, workers := range workerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := importance.MCShapleyParallel(train.Len(), u, cfg, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// The batched prediction path vs. row-by-row prediction on the same kNN.
+func BenchmarkKNNPredictBatch(b *testing.B) {
+	train, valid := benchDataset(b, 300)
+	knn := ml.NewKNN(5)
+	if err := knn.Fit(train); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := knn.PredictBatch(valid, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("rowwise", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for v := 0; v < valid.Len(); v++ {
+				knn.Predict(valid.Row(v))
+			}
+		}
+	})
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"nde/internal/linalg"
 	"nde/internal/ml"
 )
 
@@ -22,12 +23,17 @@ type FairPair struct {
 }
 
 // SimilarPairs returns all row pairs within epsilon Euclidean distance —
-// the similarity graph iFlipper operates on.
+// the similarity graph iFlipper operates on. The n×n squared-distance
+// matrix is computed in one shot through the batched linalg kernel and
+// compared against epsilon² — no per-pair sqrt.
 func SimilarPairs(d *ml.Dataset, epsilon float64) []FairPair {
 	var pairs []FairPair
+	d2 := linalg.PairwiseSquaredDistances(d.X, d.X, 0)
+	eps2 := epsilon * epsilon
 	for i := 0; i < d.Len(); i++ {
+		row := d2.Row(i)
 		for j := i + 1; j < d.Len(); j++ {
-			if ml.EuclideanDistance(d.Row(i), d.Row(j)) <= epsilon {
+			if row[j] <= eps2 {
 				pairs = append(pairs, FairPair{I: i, J: j})
 			}
 		}

@@ -110,7 +110,8 @@ func E14Amortization(n int, seed int64) (*E14Result, error) {
 		return nil, err
 	}
 	k := len(corrupted)
-	full, err := importance.KNNShapley(5, dirty, valid)
+	// pooled, index-backed path; bit-identical to sequential KNNShapley
+	full, err := importance.KNNShapleyParallel(5, dirty, valid, 0)
 	if err != nil {
 		return nil, err
 	}

@@ -43,7 +43,8 @@ func E5MethodComparison(n int, seed int64) (*E5Result, error) {
 			return importance.MCShapley(dirty.Len(), u, importance.MCShapleyConfig{Permutations: 30, Seed: seed, Truncation: 0.01})
 		}},
 		{"knn-shapley", func() (importance.Scores, error) {
-			return importance.KNNShapley(5, dirty, valid)
+			// pooled path; bit-identical to the sequential closed form
+			return importance.KNNShapleyParallel(5, dirty, valid, 0)
 		}},
 		{"banzhaf", func() (importance.Scores, error) {
 			return importance.MCBanzhaf(dirty.Len(), u, importance.SemivalueConfig{SamplesPerPoint: 20, Seed: seed})
@@ -103,10 +104,10 @@ func E6Scalability(seed int64) (*E6Result, error) {
 	t := &Table{
 		ID:      "E6",
 		Title:   "§2.1 — Shapley runtime scaling: Monte-Carlo retraining vs. closed-form kNN",
-		Columns: []string{"n train", "tmc-shapley", "knn-shapley", "knn-parallel", "speedup"},
-		Notes:   "the kNN closed form is O(n log n) per validation point; TMC retrains O(perms · n) times; the parallel column is bit-identical to the sequential one",
+		Columns: []string{"n train", "tmc-shapley", "tmc-parallel", "knn-shapley", "knn-parallel", "speedup"},
+		Notes:   "the kNN closed form is O(n log n) per validation point; TMC retrains O(perms · n) times; both parallel columns run on the shared pool and are deterministic for any worker count",
 	}
-	res := &E6Result{Table: t, Sizes: sizes, Seconds: map[string][]float64{"tmc": nil, "knn": nil, "knn-par": nil}}
+	res := &E6Result{Table: t, Sizes: sizes, Seconds: map[string][]float64{"tmc": nil, "tmc-par": nil, "knn": nil, "knn-par": nil}}
 	for _, n := range sizes {
 		dirty, valid, _, _, err := dirtyLetters(n*2, 0.1, seed) // *2: split keeps 60%
 		if err != nil {
@@ -114,11 +115,18 @@ func E6Scalability(seed int64) (*E6Result, error) {
 		}
 		u := importance.AccuracyUtility(func() ml.Classifier { return ml.NewKNN(5) }, dirty, valid)
 
+		cfg := importance.MCShapleyConfig{Permutations: 10, Seed: seed, Truncation: 0.01}
 		start := time.Now()
-		if _, err := importance.MCShapley(dirty.Len(), u, importance.MCShapleyConfig{Permutations: 10, Seed: seed, Truncation: 0.01}); err != nil {
+		if _, err := importance.MCShapley(dirty.Len(), u, cfg); err != nil {
 			return nil, err
 		}
 		tmc := time.Since(start)
+
+		start = time.Now()
+		if _, err := importance.MCShapleyParallel(dirty.Len(), u, cfg, 0); err != nil {
+			return nil, err
+		}
+		tmcPar := time.Since(start)
 
 		start = time.Now()
 		if _, err := importance.KNNShapley(5, dirty, valid); err != nil {
@@ -135,10 +143,12 @@ func E6Scalability(seed int64) (*E6Result, error) {
 		speedup := float64(tmc) / float64(knn)
 		t.AddRow(fmt.Sprintf("%d", dirty.Len()),
 			tmc.Round(time.Millisecond).String(),
+			tmcPar.Round(time.Millisecond).String(),
 			knn.Round(time.Microsecond).String(),
 			knnPar.Round(time.Microsecond).String(),
 			fmt.Sprintf("%.0fx", speedup))
 		res.Seconds["tmc"] = append(res.Seconds["tmc"], tmc.Seconds())
+		res.Seconds["tmc-par"] = append(res.Seconds["tmc-par"], tmcPar.Seconds())
 		res.Seconds["knn"] = append(res.Seconds["knn"], knn.Seconds())
 		res.Seconds["knn-par"] = append(res.Seconds["knn-par"], knnPar.Seconds())
 	}

@@ -1,0 +1,71 @@
+package importance
+
+import (
+	"sync"
+
+	"nde/internal/ml"
+	"nde/internal/obs"
+)
+
+// The kNN-Shapley hot paths all need the same valid×train distance
+// geometry, and callers (iterative cleaning, repeated experiments,
+// benchmarks) invoke them many times over datasets whose *features* never
+// change — only labels do. This cache shares one ml.NeighborIndex per
+// distinct (train.X, valid.X) content pair, so the distance matrix and the
+// per-query neighbor orders are computed exactly once and reused across
+// calls. Keys are content fingerprints (linalg.Matrix.Fingerprint), not
+// pointer identities, so in-place feature mutations are detected and get a
+// fresh index.
+//
+// IMPORTANT: a cached index may hold *stale labels* (its Datasets are the
+// ones from the first call). Callers must therefore use only the
+// geometry methods of the returned index (D2, Order, TopK) and read labels
+// from their own arguments — never Predict* on a cached index.
+//
+// Hits and misses are exported as the importance_neighbor_index_hits_total
+// and importance_neighbor_index_misses_total counters.
+
+type indexKey struct {
+	trainFP, validFP uint64
+}
+
+const maxCachedIndexes = 4
+
+var (
+	indexMu    sync.Mutex
+	indexCache = map[indexKey]*ml.NeighborIndex{}
+	indexFIFO  []indexKey // insertion order for eviction
+)
+
+// sharedNeighborIndex returns the cached NeighborIndex for (train, valid)
+// — valid rows are the queries — building and caching it on a miss.
+func sharedNeighborIndex(train, valid *ml.Dataset, workers int) (*ml.NeighborIndex, error) {
+	key := indexKey{trainFP: train.X.Fingerprint(), validFP: valid.X.Fingerprint()}
+	indexMu.Lock()
+	defer indexMu.Unlock()
+	if ix, ok := indexCache[key]; ok {
+		obs.Inc("importance_neighbor_index_hits_total")
+		return ix, nil
+	}
+	obs.Inc("importance_neighbor_index_misses_total")
+	ix, err := ml.NewNeighborIndex(train, valid, workers)
+	if err != nil {
+		return nil, err
+	}
+	if len(indexFIFO) >= maxCachedIndexes {
+		delete(indexCache, indexFIFO[0])
+		indexFIFO = indexFIFO[1:]
+	}
+	indexCache[key] = ix
+	indexFIFO = append(indexFIFO, key)
+	return ix, nil
+}
+
+// ResetNeighborIndexCache drops every cached index. Intended for tests and
+// for long-lived processes that want to bound memory between workloads.
+func ResetNeighborIndexCache() {
+	indexMu.Lock()
+	defer indexMu.Unlock()
+	indexCache = map[indexKey]*ml.NeighborIndex{}
+	indexFIFO = nil
+}

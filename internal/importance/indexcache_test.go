@@ -1,0 +1,141 @@
+package importance
+
+import (
+	"testing"
+
+	"nde/internal/ml"
+	"nde/internal/obs"
+)
+
+// The three kNN-Shapley entry points — sequential, pooled, and explicit
+// index — must agree bit-for-bit.
+func TestKNNShapleyAllPathsBitIdentical(t *testing.T) {
+	train := blobs(90, 1.5, 901)
+	valid := blobs(45, 1.5, 902)
+	seq, err := KNNShapley(5, train, valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := KNNShapleyParallel(5, train, valid, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := ml.NewNeighborIndex(train, valid, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	indexed, err := KNNShapleyWithIndex(5, ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq {
+		if seq[i] != par[i] || seq[i] != indexed[i] {
+			t.Fatalf("score %d diverges: seq %v par %v indexed %v", i, seq[i], par[i], indexed[i])
+		}
+	}
+}
+
+// Repeated calls over the same features must hit the shared index cache —
+// the distance matrix is computed exactly once — and hits/misses are
+// exported as counters.
+func TestSharedNeighborIndexCacheHits(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+	defer obs.Reset()
+	obs.Reset()
+	ResetNeighborIndexCache()
+	defer ResetNeighborIndexCache()
+
+	train := blobs(50, 1.5, 903)
+	valid := blobs(25, 1.5, 904)
+	if _, err := KNNShapley(5, train, valid); err != nil {
+		t.Fatal(err)
+	}
+	misses := obs.Default().Counter("importance_neighbor_index_misses_total").Value()
+	if misses != 1 {
+		t.Fatalf("misses after first call = %d, want 1", misses)
+	}
+	if _, err := KNNShapley(3, train, valid); err != nil { // different k, same geometry
+		t.Fatal(err)
+	}
+	if _, err := KNNShapleyParallel(5, train, valid, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := obs.Default().Counter("importance_neighbor_index_hits_total").Value(); got != 2 {
+		t.Errorf("hits = %d, want 2", got)
+	}
+	if got := obs.Default().Counter("importance_neighbor_index_misses_total").Value(); got != 1 {
+		t.Errorf("misses = %d, want 1", got)
+	}
+}
+
+// Label-only mutations (the iterative-cleaning pattern) may reuse the
+// cached geometry, but the scores must still reflect the new labels; a
+// feature mutation must produce a cache miss.
+func TestSharedNeighborIndexLabelAndFeatureMutations(t *testing.T) {
+	ResetNeighborIndexCache()
+	defer ResetNeighborIndexCache()
+
+	train := blobs(40, 1.5, 905)
+	valid := blobs(20, 1.5, 906)
+	before, err := KNNShapley(5, train, valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// flip a label in place: same features → cache hit, different scores
+	train.Y[3] = 1 - train.Y[3]
+	after, err := KNNShapley(5, train, valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := false
+	for i := range before {
+		if before[i] != after[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("label flip did not change any score (stale labels served from cache?)")
+	}
+	// the flipped point's own score must move: its match indicator changed
+	// at every validation point
+	if after[3] == before[3] {
+		t.Errorf("flipped point score unchanged at %v", after[3])
+	}
+
+	// mutate a feature in place: the fingerprint must detect it
+	obs.Enable()
+	defer obs.Disable()
+	defer obs.Reset()
+	obs.Reset()
+	train.X.Set(0, 0, train.X.At(0, 0)+10)
+	if _, err := KNNShapley(5, train, valid); err != nil {
+		t.Fatal(err)
+	}
+	if got := obs.Default().Counter("importance_neighbor_index_misses_total").Value(); got != 1 {
+		t.Errorf("feature mutation produced %d misses, want 1", got)
+	}
+}
+
+// The cache is bounded: old entries are evicted FIFO.
+func TestSharedNeighborIndexCacheEviction(t *testing.T) {
+	ResetNeighborIndexCache()
+	defer ResetNeighborIndexCache()
+	for i := 0; i < maxCachedIndexes+2; i++ {
+		train := blobs(20, 1.5, int64(910+i))
+		valid := blobs(10, 1.5, int64(930+i))
+		if _, err := KNNShapley(3, train, valid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	indexMu.Lock()
+	defer indexMu.Unlock()
+	if len(indexCache) != maxCachedIndexes {
+		t.Errorf("cache holds %d entries, want %d", len(indexCache), maxCachedIndexes)
+	}
+	if len(indexFIFO) != maxCachedIndexes {
+		t.Errorf("FIFO holds %d entries, want %d", len(indexFIFO), maxCachedIndexes)
+	}
+}

@@ -22,15 +22,14 @@ import (
 // where (j) indexes training points sorted by ascending distance to x.
 // The total score of a training point is its sum over validation points,
 // normalized by the number of validation points.
+//
+// Distances and neighbor orders come from the shared NeighborIndex cache:
+// the valid×train squared-distance matrix is computed once through the
+// batched linalg kernel and reused across calls (and with
+// KNNShapleyParallel, which is bit-for-bit identical to this function).
 func KNNShapley(k int, train, valid *ml.Dataset) (Scores, error) {
-	if k < 1 {
-		return nil, fmt.Errorf("importance: kNN-Shapley requires K >= 1, got %d", k)
-	}
-	if train.Len() == 0 || valid.Len() == 0 {
-		return nil, fmt.Errorf("importance: kNN-Shapley needs non-empty train (%d) and valid (%d)", train.Len(), valid.Len())
-	}
-	if train.Dim() != valid.Dim() {
-		return nil, fmt.Errorf("importance: dimension mismatch %d vs %d", train.Dim(), valid.Dim())
+	if err := validateKNNShapley(k, train, valid); err != nil {
+		return nil, err
 	}
 	sp := obs.StartSpan("importance.knnshapley")
 	sp.SetInt("k", int64(k)).SetInt("train", int64(train.Len())).SetInt("valid", int64(valid.Len()))
@@ -38,30 +37,17 @@ func KNNShapley(k int, train, valid *ml.Dataset) (Scores, error) {
 	prog := obs.NewProgress("knnshapley", valid.Len())
 	defer prog.Done()
 
+	ix, err := sharedNeighborIndex(train, valid, 1)
+	if err != nil {
+		return nil, err
+	}
 	n := train.Len()
 	scores := make(Scores, n)
-	order := make([]int, n)
-	dists := make([]float64, n)
 	s := make([]float64, n)
 	for v := 0; v < valid.Len(); v++ {
 		prog.Tick(1)
-		x, y := valid.Row(v), valid.Y[v]
-		for i := 0; i < n; i++ {
-			dists[i] = ml.EuclideanDistance(train.Row(i), x)
-			order[i] = i
-		}
-		sort.SliceStable(order, func(a, b int) bool { return dists[order[a]] < dists[order[b]] })
-		match := func(pos int) float64 {
-			if train.Y[order[pos]] == y {
-				return 1
-			}
-			return 0
-		}
-		s[n-1] = match(n-1) / float64(n)
-		for j := n - 2; j >= 0; j-- {
-			rank := j + 1 // 1-based rank of position j
-			s[j] = s[j+1] + (match(j)-match(j+1))/float64(k)*minF(float64(k), float64(rank))/float64(rank)
-		}
+		order := ix.Order(v)
+		knnShapleyContrib(k, train.Y, valid.Y[v], order, s)
 		for j := 0; j < n; j++ {
 			scores[order[j]] += s[j]
 		}
@@ -73,10 +59,69 @@ func KNNShapley(k int, train, valid *ml.Dataset) (Scores, error) {
 	return scores, nil
 }
 
+// KNNShapleyWithIndex computes the same closed form from a caller-provided
+// NeighborIndex whose Train/Queries pair is the (train, valid) of
+// interest, reusing its cached distance matrix and neighbor orders. The
+// result is bit-for-bit identical to KNNShapley on the same data.
+func KNNShapleyWithIndex(k int, ix *ml.NeighborIndex) (Scores, error) {
+	train, valid := ix.Train, ix.Queries
+	if err := validateKNNShapley(k, train, valid); err != nil {
+		return nil, err
+	}
+	n := train.Len()
+	scores := make(Scores, n)
+	s := make([]float64, n)
+	for v := 0; v < valid.Len(); v++ {
+		order := ix.Order(v)
+		knnShapleyContrib(k, train.Y, valid.Y[v], order, s)
+		for j := 0; j < n; j++ {
+			scores[order[j]] += s[j]
+		}
+	}
+	inv := 1 / float64(valid.Len())
+	for i := range scores {
+		scores[i] *= inv
+	}
+	return scores, nil
+}
+
+// knnShapleyContrib fills s with the per-rank Shapley recurrence for one
+// validation point with label y, given the neighbor order of the training
+// points. s[j] is the contribution of the training point at rank j.
+func knnShapleyContrib(k int, trainY []int, y int, order []int, s []float64) {
+	n := len(order)
+	match := func(pos int) float64 {
+		if trainY[order[pos]] == y {
+			return 1
+		}
+		return 0
+	}
+	s[n-1] = match(n-1) / float64(n)
+	for j := n - 2; j >= 0; j-- {
+		rank := j + 1 // 1-based rank of position j
+		s[j] = s[j+1] + (match(j)-match(j+1))/float64(k)*minF(float64(k), float64(rank))/float64(rank)
+	}
+}
+
+func validateKNNShapley(k int, train, valid *ml.Dataset) error {
+	if k < 1 {
+		return fmt.Errorf("importance: kNN-Shapley requires K >= 1, got %d", k)
+	}
+	if train.Len() == 0 || valid.Len() == 0 {
+		return fmt.Errorf("importance: kNN-Shapley needs non-empty train (%d) and valid (%d)", train.Len(), valid.Len())
+	}
+	if train.Dim() != valid.Dim() {
+		return fmt.Errorf("importance: dimension mismatch %d vs %d", train.Dim(), valid.Dim())
+	}
+	return nil
+}
+
 // KNNUtility returns the utility function that KNNShapley's closed form
 // scores: mean over validation points of the fraction of correct votes
 // among the K nearest neighbors within the subset. Exposed so tests and
 // benchmarks can cross-check the closed form against generic estimators.
+// Ranking uses squared distances with index tie-breaks — the same total
+// order as the closed form and the NeighborIndex.
 func KNNUtility(k int, train, valid *ml.Dataset) Utility {
 	return func(subset []int) (float64, error) {
 		if len(subset) == 0 {
@@ -91,7 +136,7 @@ func KNNUtility(k int, train, valid *ml.Dataset) Utility {
 			x, y := valid.Row(v), valid.Y[v]
 			di := make([]distIdx, len(subset))
 			for o, i := range subset {
-				di[o] = distIdx{ml.EuclideanDistance(train.Row(i), x), i}
+				di[o] = distIdx{ml.SquaredDistance(train.Row(i), x), i}
 			}
 			sort.SliceStable(di, func(a, b int) bool {
 				if di[a].d != di[b].d {

@@ -1,0 +1,132 @@
+package importance
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"nde/internal/obs"
+	"nde/internal/par"
+)
+
+// MCShapleyParallel estimates Monte-Carlo permutation Shapley values with
+// permutations fanned out over the shared worker pool. Each permutation p
+// draws from its own rand stream seeded by a splitmix64 hash of
+// (cfg.Seed, p), so the sampled permutations — and therefore the scores —
+// are bit-for-bit identical for every worker count, including 1. Per-
+// permutation contribution vectors are reduced in permutation order, so
+// float summation order never depends on scheduling. TMC truncation
+// (cfg.Truncation) applies within each permutation exactly as in
+// MCShapley.
+//
+// The estimate differs from serial MCShapley at the same seed (that one
+// threads a single rand stream through all permutations); both are
+// unbiased estimators of the same values.
+//
+// The utility u must be safe for concurrent calls; the Utility functions
+// built by this package (AccuracyUtility, KNNUtility) are, since they only
+// read the datasets they close over.
+func MCShapleyParallel(n int, u Utility, cfg MCShapleyConfig, workers int) (Scores, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("importance: need at least one example, got %d", n)
+	}
+	perms := cfg.Permutations
+	if perms <= 0 {
+		perms = 100
+	}
+	resolved := par.Workers(workers, perms)
+	sp := obs.StartSpan("importance.mcshapley_parallel")
+	sp.SetInt("n", int64(n)).SetInt("permutations", int64(perms)).SetInt("workers", int64(resolved))
+	defer sp.End()
+	prog := obs.NewProgress("mcshapley_parallel_permutations", perms)
+	defer prog.Done()
+
+	uEmpty, err := u(nil)
+	if err != nil {
+		return nil, err
+	}
+	full := make([]int, n)
+	for i := range full {
+		full[i] = i
+	}
+	uFull, err := u(full)
+	if err != nil {
+		return nil, err
+	}
+
+	// per-permutation contribution vectors, reduced in permutation order
+	contribs := make([][]float64, perms)
+	subsets := make([][]int, resolved) // per-worker subset scratch
+	evals := make([]int64, resolved)   // per-worker counters
+	truncs := make([]int64, resolved)
+	var failed atomic.Bool
+	var errOnce sync.Once
+	var firstErr error
+	par.For("importance.mcshapley", workers, perms, func(w, p int) {
+		if failed.Load() {
+			return // a sibling already failed; drain remaining work cheaply
+		}
+		r := rand.New(rand.NewSource(permSeed(cfg.Seed, p)))
+		perm := r.Perm(n)
+		subset := subsets[w]
+		if subset == nil {
+			subset = make([]int, 0, n)
+		}
+		subset = subset[:0]
+		c := make([]float64, n)
+		prev := uEmpty
+		for _, i := range perm {
+			subset = append(subset, i)
+			cur, err := u(subset)
+			if err != nil {
+				errOnce.Do(func() { firstErr = err })
+				failed.Store(true)
+				return
+			}
+			evals[w]++
+			c[i] = cur - prev
+			prev = cur
+			if cfg.Truncation > 0 && abs(uFull-cur) < cfg.Truncation {
+				truncs[w]++
+				break // remaining examples get zero marginal contribution
+			}
+		}
+		subsets[w] = subset[:0]
+		contribs[p] = c
+		prog.Tick(1)
+	})
+	if failed.Load() {
+		return nil, firstErr
+	}
+
+	scores := make(Scores, n)
+	for p := 0; p < perms; p++ { // fixed reduction order
+		for i, c := range contribs[p] {
+			scores[i] += c
+		}
+	}
+	inv := 1 / float64(perms)
+	for i := range scores {
+		scores[i] *= inv
+	}
+	totalEvals, totalTruncs := int64(2), int64(0)
+	for w := 0; w < resolved; w++ {
+		totalEvals += evals[w]
+		totalTruncs += truncs[w]
+	}
+	obs.Count("importance_mc_utility_evals_total", totalEvals)
+	obs.Count("importance_mc_truncations_total", totalTruncs)
+	sp.SetInt("utility_evals", totalEvals).SetInt("truncations", totalTruncs)
+	return scores, nil
+}
+
+// permSeed derives an independent, deterministic seed for permutation p
+// from the config seed via splitmix64 — the per-permutation streams do not
+// depend on which worker runs them.
+func permSeed(seed int64, p int) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(p+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}

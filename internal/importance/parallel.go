@@ -1,14 +1,11 @@
 package importance
 
 import (
-	"fmt"
-	"runtime"
-	"sort"
-	"sync"
 	"time"
 
 	"nde/internal/ml"
 	"nde/internal/obs"
+	"nde/internal/par"
 )
 
 // ParallelStats reports how a parallel importance computation actually
@@ -31,10 +28,12 @@ type ParallelStats struct {
 }
 
 // KNNShapleyParallel computes the same exact kNN-Shapley values as
-// KNNShapley using a worker pool over validation points. Results are
-// bit-for-bit deterministic: each validation point's contribution vector is
-// computed independently and the final reduction sums them in validation-
-// point order, so float summation order never depends on scheduling.
+// KNNShapley using the shared worker pool over validation points. Results
+// are bit-for-bit deterministic and identical to the sequential function:
+// both read neighbor orders from the same shared NeighborIndex, each
+// validation point's contribution vector is computed independently, and
+// the final reduction sums them in validation-point order, so float
+// summation order never depends on scheduling.
 func KNNShapleyParallel(k int, train, valid *ml.Dataset, workers int) (Scores, error) {
 	scores, _, err := KNNShapleyParallelStats(k, train, valid, workers)
 	return scores, err
@@ -45,81 +44,46 @@ func KNNShapleyParallel(k int, train, valid *ml.Dataset, workers int) (Scores, e
 // importance_knnshapley_workers gauge, and per-worker utilization is
 // recorded into the importance_knnshapley_points_per_worker histogram.
 func KNNShapleyParallelStats(k int, train, valid *ml.Dataset, workers int) (Scores, *ParallelStats, error) {
-	if k < 1 {
-		return nil, nil, fmt.Errorf("importance: kNN-Shapley requires K >= 1, got %d", k)
+	if err := validateKNNShapley(k, train, valid); err != nil {
+		return nil, nil, err
 	}
-	if train.Len() == 0 || valid.Len() == 0 {
-		return nil, nil, fmt.Errorf("importance: kNN-Shapley needs non-empty train (%d) and valid (%d)", train.Len(), valid.Len())
-	}
-	if train.Dim() != valid.Dim() {
-		return nil, nil, fmt.Errorf("importance: dimension mismatch %d vs %d", train.Dim(), valid.Dim())
-	}
-	stats := &ParallelStats{RequestedWorkers: workers, Points: valid.Len()}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > valid.Len() {
-		workers = valid.Len()
-	}
-	stats.Workers = workers
-	stats.PerWorker = make([]int, workers)
-	obs.SetGauge("importance_knnshapley_workers", float64(workers))
+	resolved := par.Workers(workers, valid.Len())
+	obs.SetGauge("importance_knnshapley_workers", float64(resolved))
 
 	sp := obs.StartSpan("importance.knnshapley_parallel")
 	sp.SetInt("k", int64(k)).SetInt("train", int64(train.Len())).
-		SetInt("valid", int64(valid.Len())).SetInt("workers", int64(workers))
+		SetInt("valid", int64(valid.Len())).SetInt("workers", int64(resolved))
 	prog := obs.NewProgress("knnshapley_parallel", valid.Len())
-	start := time.Now()
+
+	ix, err := sharedNeighborIndex(train, valid, workers)
+	if err != nil {
+		sp.End()
+		prog.Done()
+		return nil, nil, err
+	}
 
 	n := train.Len()
 	// per-validation-point contribution vectors, indexed by validation point
 	contribs := make([][]float64, valid.Len())
-	var wg sync.WaitGroup
-	jobs := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			order := make([]int, n)
-			dists := make([]float64, n)
-			s := make([]float64, n)
-			for v := range jobs {
-				x, y := valid.Row(v), valid.Y[v]
-				for i := 0; i < n; i++ {
-					dists[i] = ml.EuclideanDistance(train.Row(i), x)
-					order[i] = i
-				}
-				sort.SliceStable(order, func(a, b int) bool { return dists[order[a]] < dists[order[b]] })
-				match := func(pos int) float64 {
-					if train.Y[order[pos]] == y {
-						return 1
-					}
-					return 0
-				}
-				s[n-1] = match(n-1) / float64(n)
-				for j := n - 2; j >= 0; j-- {
-					rank := j + 1
-					s[j] = s[j+1] + (match(j)-match(j+1))/float64(k)*minF(float64(k), float64(rank))/float64(rank)
-				}
-				c := make([]float64, n)
-				for j := 0; j < n; j++ {
-					c[order[j]] = s[j]
-				}
-				contribs[v] = c
-				stats.PerWorker[w]++ // w-private slot; published by wg.Wait
-				prog.Tick(1)
-			}
-		}(w)
-	}
-	for v := 0; v < valid.Len(); v++ {
-		jobs <- v
-	}
-	close(jobs)
-	wg.Wait()
-	stats.Wall = time.Since(start)
+	scratch := make([][]float64, resolved) // per-worker recurrence buffer
+	st := par.For("importance.knnshapley", workers, valid.Len(), func(w, v int) {
+		s := scratch[w]
+		if s == nil {
+			s = make([]float64, n)
+			scratch[w] = s
+		}
+		order := ix.Order(v)
+		knnShapleyContrib(k, train.Y, valid.Y[v], order, s)
+		c := make([]float64, n)
+		for j := 0; j < n; j++ {
+			c[order[j]] = s[j]
+		}
+		contribs[v] = c
+		prog.Tick(1)
+	})
 	prog.Done()
 	if obs.Enabled() {
-		for _, cnt := range stats.PerWorker {
+		for _, cnt := range st.PerWorker {
 			obs.ObserveWith("importance_knnshapley_points_per_worker", float64(cnt), obs.ExpBuckets(1, 2, 13))
 		}
 	}
@@ -134,6 +98,13 @@ func KNNShapleyParallelStats(k int, train, valid *ml.Dataset, workers int) (Scor
 	inv := 1 / float64(valid.Len())
 	for i := range scores {
 		scores[i] *= inv
+	}
+	stats := &ParallelStats{
+		RequestedWorkers: workers,
+		Workers:          st.Workers,
+		Points:           st.Items,
+		PerWorker:        st.PerWorker,
+		Wall:             st.Wall,
 	}
 	return scores, stats, nil
 }

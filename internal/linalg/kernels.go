@@ -1,0 +1,133 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+
+	"nde/internal/par"
+)
+
+// RowNorms2 returns the squared Euclidean norm of every row of m.
+func RowNorms2(m *Matrix) []float64 {
+	out := make([]float64, m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		s := 0.0
+		for _, v := range row {
+			s += v * v
+		}
+		out[r] = s
+	}
+	return out
+}
+
+// PairwiseSquaredDistances returns the a.Rows × b.Rows matrix D with
+// D[i][j] = ‖a.Row(i) − b.Row(j)‖², computed with the Gram trick
+// ‖a‖² + ‖b‖² − 2·a·b over cached row norms. The inner loops are blocked
+// so a tile of B rows stays cache-hot across a block of A rows, and the
+// dot product is 4-way unrolled. Rows of the output are computed
+// independently on the shared pool (workers <= 0 = auto), and every
+// element has a fixed summation order, so the result is bit-for-bit
+// deterministic for any worker count. Tiny negative values produced by
+// floating-point cancellation are clamped to zero.
+func PairwiseSquaredDistances(a, b *Matrix, workers int) *Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("linalg: PairwiseSquaredDistances dims %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(a.Rows, b.Rows)
+	if a.Rows == 0 || b.Rows == 0 {
+		return out
+	}
+	na := RowNorms2(a)
+	nb := RowNorms2(b)
+	// rowBlock rows of A per task: large enough to reuse each B tile,
+	// small enough to load-balance across workers.
+	const rowBlock = 16
+	par.ForBlocks("linalg.pairwise_d2", workers, a.Rows, rowBlock, func(_, lo, hi int) {
+		pairwiseD2Block(a, b, na, nb, out, lo, hi)
+	})
+	return out
+}
+
+// pairwiseD2Block fills output rows [lo, hi). B rows are walked in tiles of
+// jTile so they stay in cache while the block of A rows streams over them.
+func pairwiseD2Block(a, b *Matrix, na, nb []float64, out *Matrix, lo, hi int) {
+	d := a.Cols
+	const jTile = 64
+	for j0 := 0; j0 < b.Rows; j0 += jTile {
+		j1 := j0 + jTile
+		if j1 > b.Rows {
+			j1 = b.Rows
+		}
+		for i := lo; i < hi; i++ {
+			ai := a.Row(i)
+			orow := out.Row(i)
+			for j := j0; j < j1; j++ {
+				bj := b.Row(j)
+				var s0, s1, s2, s3 float64
+				k := 0
+				for ; k+3 < d; k += 4 {
+					s0 += ai[k] * bj[k]
+					s1 += ai[k+1] * bj[k+1]
+					s2 += ai[k+2] * bj[k+2]
+					s3 += ai[k+3] * bj[k+3]
+				}
+				dot := s0 + s1 + s2 + s3
+				for ; k < d; k++ {
+					dot += ai[k] * bj[k]
+				}
+				v := na[i] + nb[j] - 2*dot
+				if v < 0 {
+					v = 0
+				}
+				orow[j] = v
+			}
+		}
+	}
+}
+
+// MatMulPar returns m @ o with output rows computed in parallel on the
+// shared pool (workers <= 0 = auto). Each output row is produced by exactly
+// the same sequence of operations as the serial MatMul, so the result is
+// bit-for-bit identical to it for any worker count.
+func MatMulPar(m, o *Matrix, workers int) *Matrix {
+	if m.Cols != o.Rows {
+		panic(fmt.Sprintf("linalg: MatMulPar shape %dx%d @ %dx%d", m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+	out := NewMatrix(m.Rows, o.Cols)
+	par.For("linalg.matmul", workers, m.Rows, func(_, r int) {
+		row := out.Row(r)
+		for k := 0; k < m.Cols; k++ {
+			a := m.Data[r*m.Cols+k]
+			if a == 0 {
+				continue
+			}
+			AXPY(a, o.Data[k*o.Cols:(k+1)*o.Cols], row)
+		}
+	})
+	return out
+}
+
+// Fingerprint returns a cheap FNV-1a hash over the matrix shape and the
+// raw bits of its elements. Used to key caches of derived quantities
+// (e.g. pairwise-distance matrices) by content rather than pointer
+// identity, so in-place mutations are detected.
+func (m *Matrix) Fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for s := 0; s < 64; s += 8 {
+			h ^= (v >> s) & 0xff
+			h *= prime64
+		}
+	}
+	mix(uint64(m.Rows))
+	mix(uint64(m.Cols))
+	for _, v := range m.Data {
+		mix(math.Float64bits(v))
+	}
+	return h
+}

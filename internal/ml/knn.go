@@ -11,9 +11,17 @@ import (
 // KNN is a k-nearest-neighbors classifier under Euclidean distance. Ties in
 // the vote break toward the smaller label; ties in distance break toward the
 // smaller training index, so predictions are fully deterministic.
+//
+// Internally all ranking happens on squared distances (sqrt is monotone, so
+// the order is identical and the per-pair sqrt is skipped), neighbor order
+// comes from an explicit (distance, index) comparator rather than a stable
+// sort, and votes are tallied in a label-indexed slice. Batch workloads
+// should go through PredictBatch or a NeighborIndex, which compute all
+// query×train distances through the batched linalg kernel.
 type KNN struct {
 	K     int
 	train *Dataset
+	nc    int // cached NumClasses of train
 }
 
 // NewKNN returns a kNN classifier with the given k (k >= 1).
@@ -28,6 +36,7 @@ func (m *KNN) Fit(d *Dataset) error {
 		return fmt.Errorf("ml: kNN cannot fit an empty dataset")
 	}
 	m.train = d
+	m.nc = d.NumClasses()
 	return nil
 }
 
@@ -36,16 +45,31 @@ func (m *KNN) Fit(d *Dataset) error {
 // allocated.
 func (m *KNN) Neighbors(x []float64) []int {
 	n := m.train.Len()
-	dists := make([]float64, n)
+	d2 := make([]float64, n)
 	for i := 0; i < n; i++ {
-		dists[i] = EuclideanDistance(m.train.Row(i), x)
+		d2[i] = SquaredDistance(m.train.Row(i), x)
 	}
 	idx := make([]int, n)
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.SliceStable(idx, func(a, b int) bool { return dists[idx[a]] < dists[idx[b]] })
+	sort.Sort(&distOrder{d2: d2, idx: idx})
 	return idx
+}
+
+// topK returns the k nearest training indices to x without sorting the
+// full training set: quickselect over (squared distance, index) pairs.
+func (m *KNN) topK(x []float64, k int) []distIdx {
+	n := m.train.Len()
+	if k > n {
+		k = n
+	}
+	pairs := make([]distIdx, n)
+	for i := 0; i < n; i++ {
+		pairs[i] = distIdx{d: SquaredDistance(m.train.Row(i), x), i: i}
+	}
+	selectK(pairs, k)
+	return pairs[:k]
 }
 
 // Predict returns the majority label among the k nearest training points.
@@ -53,27 +77,35 @@ func (m *KNN) Predict(x []float64) int {
 	if m.train == nil {
 		panic("ml: Predict before Fit")
 	}
-	order := m.Neighbors(x)
-	k := m.K
-	if k > len(order) {
-		k = len(order)
-	}
-	votes := make(map[int]int)
-	for _, i := range order[:k] {
-		votes[m.train.Y[i]]++
+	votes := make([]int, m.nc)
+	for _, p := range m.topK(x, m.K) {
+		y := m.train.Y[p.i]
+		if y >= len(votes) { // labels mutated after Fit; grow defensively
+			votes = append(votes, make([]int, y+1-len(votes))...)
+		}
+		votes[y]++
 	}
 	best, bestVotes := 0, -1
-	labels := make([]int, 0, len(votes))
-	for y := range votes {
-		labels = append(labels, y)
-	}
-	sort.Ints(labels)
-	for _, y := range labels {
-		if votes[y] > bestVotes {
-			best, bestVotes = y, votes[y]
+	for y, v := range votes {
+		if v > bestVotes {
+			best, bestVotes = y, v
 		}
 	}
 	return best
+}
+
+// PredictBatch classifies every row of queries, computing all distances at
+// once through the batched kernel on the shared pool (workers <= 0 =
+// auto). Predictions are identical to calling Predict row by row.
+func (m *KNN) PredictBatch(queries *Dataset, workers int) ([]int, error) {
+	if m.train == nil {
+		return nil, fmt.Errorf("ml: PredictBatch before Fit")
+	}
+	ix, err := NewNeighborIndex(m.train, queries, workers)
+	if err != nil {
+		return nil, err
+	}
+	return ix.PredictBatch(m.K), nil
 }
 
 // Proba returns the vote fractions over classes among the k nearest points.
@@ -83,13 +115,12 @@ func (m *KNN) Proba(x []float64) []float64 {
 	}
 	nc := m.train.NumClasses()
 	out := make([]float64, nc)
-	order := m.Neighbors(x)
 	k := m.K
-	if k > len(order) {
-		k = len(order)
+	if k > m.train.Len() {
+		k = m.train.Len()
 	}
-	for _, i := range order[:k] {
-		out[m.train.Y[i]]++
+	for _, p := range m.topK(x, k) {
+		out[m.train.Y[p.i]]++
 	}
 	linalg.Scale(1/float64(k), out)
 	return out
@@ -97,13 +128,5 @@ func (m *KNN) Proba(x []float64) []float64 {
 
 // EuclideanDistance returns the L2 distance between two equal-length vectors.
 func EuclideanDistance(a, b []float64) float64 {
-	if len(a) != len(b) {
-		panic(fmt.Sprintf("ml: distance dims %d vs %d", len(a), len(b)))
-	}
-	s := 0.0
-	for i := range a {
-		d := a[i] - b[i]
-		s += d * d
-	}
-	return math.Sqrt(s)
+	return math.Sqrt(SquaredDistance(a, b))
 }

@@ -1,0 +1,242 @@
+package ml
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"nde/internal/linalg"
+	"nde/internal/par"
+)
+
+// SquaredDistance returns the squared L2 distance between two equal-length
+// vectors. Ranking by squared distance is equivalent to ranking by
+// Euclidean distance and skips the per-pair sqrt.
+func SquaredDistance(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("ml: distance dims %d vs %d", len(a), len(b)))
+	}
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// NeighborIndex precomputes the query×train squared-distance matrix for a
+// fixed (train, queries) pair through the batched linalg kernel, and
+// answers neighbor-ordering questions from it: full argsort per query
+// (for closed-form Shapley), top-k selection by quickselect (for
+// prediction), and batch prediction for classifiers.
+//
+// The distance matrix and the per-query sort orders are computed lazily,
+// at most once, and are safe for concurrent use after construction. All
+// orderings use the deterministic total order (squared distance, then
+// training index), matching KNN's tie-breaking.
+type NeighborIndex struct {
+	Train   *Dataset
+	Queries *Dataset
+	// Workers bounds the pool used for the kernel and the batch argsort
+	// (<= 0 = auto).
+	Workers int
+
+	d2Once sync.Once
+	d2     *linalg.Matrix // Queries.Len() × Train.Len()
+
+	ordersOnce sync.Once
+	orders     []int // flat q×n argsort rows; Order(qi) returns a view
+}
+
+// NewNeighborIndex builds an index over the given train and query sets.
+// Nothing is computed until the first use.
+func NewNeighborIndex(train, queries *Dataset, workers int) (*NeighborIndex, error) {
+	if train.Len() == 0 {
+		return nil, fmt.Errorf("ml: NeighborIndex needs a non-empty training set")
+	}
+	if train.Dim() != queries.Dim() {
+		return nil, fmt.Errorf("ml: NeighborIndex dims %d vs %d", train.Dim(), queries.Dim())
+	}
+	return &NeighborIndex{Train: train, Queries: queries, Workers: workers}, nil
+}
+
+// D2 returns the query×train squared-distance matrix, computing it on
+// first use via linalg.PairwiseSquaredDistances.
+func (ix *NeighborIndex) D2() *linalg.Matrix {
+	ix.d2Once.Do(func() {
+		ix.d2 = linalg.PairwiseSquaredDistances(ix.Queries.X, ix.Train.X, ix.Workers)
+	})
+	return ix.d2
+}
+
+// Order returns the training indices sorted by ascending squared distance
+// to query qi (ties by index). The slice is a view into the index's cached
+// order table and MUST NOT be mutated by the caller.
+func (ix *NeighborIndex) Order(qi int) []int {
+	n := ix.Train.Len()
+	ix.ordersOnce.Do(func() {
+		d2 := ix.D2()
+		orders := make([]int, ix.Queries.Len()*n)
+		par.For("ml.neighbor_argsort", ix.Workers, ix.Queries.Len(), func(_, q int) {
+			row := orders[q*n : (q+1)*n]
+			for i := range row {
+				row[i] = i
+			}
+			sort.Sort(&distOrder{d2: d2.Row(q), idx: row})
+		})
+		ix.orders = orders
+	})
+	return ix.orders[qi*n : (qi+1)*n]
+}
+
+// TopK returns the k training indices nearest to query qi, sorted by
+// ascending squared distance (ties by index), without sorting the full
+// row: an O(n) quickselect pulls the k smallest, then only those are
+// sorted. k is clamped to the training size. The slice is freshly
+// allocated.
+func (ix *NeighborIndex) TopK(qi, k int) []int {
+	n := ix.Train.Len()
+	if k > n {
+		k = n
+	}
+	if k <= 0 {
+		return nil
+	}
+	row := ix.D2().Row(qi)
+	pairs := make([]distIdx, n)
+	for i := range pairs {
+		pairs[i] = distIdx{d: row[i], i: i}
+	}
+	selectK(pairs, k)
+	top := pairs[:k]
+	sort.Sort(byDistIdx(top))
+	out := make([]int, k)
+	for i, p := range top {
+		out[i] = p.i
+	}
+	return out
+}
+
+// PredictRow returns the majority label among the k nearest training
+// points to query qi; vote ties break toward the smaller label.
+func (ix *NeighborIndex) PredictRow(qi, k int) int {
+	votes := make([]int, ix.Train.NumClasses())
+	return ix.predictRow(qi, k, votes)
+}
+
+// predictRow is PredictRow with a caller-provided (zeroed) vote buffer.
+func (ix *NeighborIndex) predictRow(qi, k int, votes []int) int {
+	for _, i := range ix.TopK(qi, k) {
+		votes[ix.Train.Y[i]]++
+	}
+	best, bestVotes := 0, -1
+	for y, v := range votes {
+		if v > bestVotes {
+			best, bestVotes = y, v
+		}
+		votes[y] = 0 // reset for reuse
+	}
+	return best
+}
+
+// PredictBatch classifies every query with the k-nearest-neighbor vote,
+// fanning queries out over the shared pool. The result is identical to
+// calling PredictRow per query.
+func (ix *NeighborIndex) PredictBatch(k int) []int {
+	out := make([]int, ix.Queries.Len())
+	nc := ix.Train.NumClasses()
+	voteBufs := make([][]int, par.Workers(ix.Workers, ix.Queries.Len()))
+	ix.D2() // materialize once before fanning out
+	par.For("ml.knn_predict_batch", ix.Workers, ix.Queries.Len(), func(w, q int) {
+		if voteBufs[w] == nil {
+			voteBufs[w] = make([]int, nc)
+		}
+		out[q] = ix.predictRow(q, k, voteBufs[w])
+	})
+	return out
+}
+
+// distOrder argsorts idx by (d2[idx], idx) — the deterministic neighbor
+// total order used everywhere in the package.
+type distOrder struct {
+	d2  []float64
+	idx []int
+}
+
+func (s *distOrder) Len() int { return len(s.idx) }
+func (s *distOrder) Less(a, b int) bool {
+	da, db := s.d2[s.idx[a]], s.d2[s.idx[b]]
+	if da != db {
+		return da < db
+	}
+	return s.idx[a] < s.idx[b]
+}
+func (s *distOrder) Swap(a, b int) { s.idx[a], s.idx[b] = s.idx[b], s.idx[a] }
+
+// distIdx is a (squared distance, training index) pair.
+type distIdx struct {
+	d float64
+	i int
+}
+
+func (a distIdx) less(b distIdx) bool {
+	if a.d != b.d {
+		return a.d < b.d
+	}
+	return a.i < b.i
+}
+
+type byDistIdx []distIdx
+
+func (s byDistIdx) Len() int           { return len(s) }
+func (s byDistIdx) Less(a, b int) bool { return s[a].less(s[b]) }
+func (s byDistIdx) Swap(a, b int)      { s[a], s[b] = s[b], s[a] }
+
+// selectK partially rearranges a so that its k smallest elements under the
+// (distance, index) total order occupy a[:k], in unspecified order.
+// Iterative quickselect with median-of-three pivoting; expected O(len(a)).
+func selectK(a []distIdx, k int) {
+	lo, hi := 0, len(a)
+	if k <= 0 || k >= len(a) {
+		return
+	}
+	for hi-lo > 1 {
+		p := partition(a, lo, hi)
+		switch {
+		case p == k:
+			return
+		case p < k:
+			lo = p + 1
+		default:
+			hi = p
+		}
+	}
+}
+
+// partition picks a median-of-three pivot in a[lo:hi], partitions around
+// it, and returns its final position.
+func partition(a []distIdx, lo, hi int) int {
+	mid := lo + (hi-lo)/2
+	last := hi - 1
+	// median of three → a[mid]
+	if a[lo].less(a[mid]) {
+		a[lo], a[mid] = a[mid], a[lo]
+	}
+	if a[lo].less(a[last]) {
+		a[lo], a[last] = a[last], a[lo]
+	}
+	if a[mid].less(a[last]) {
+		a[mid], a[last] = a[last], a[mid]
+	}
+	pivot := a[mid]
+	a[mid], a[last] = a[last], a[mid]
+	store := lo
+	for i := lo; i < last; i++ {
+		if a[i].less(pivot) {
+			a[i], a[store] = a[store], a[i]
+			store++
+		}
+	}
+	a[store], a[last] = a[last], a[store]
+	return store
+}

@@ -1,0 +1,44 @@
+#!/bin/sh
+# bench.sh — run the importance/pipeline hot-path benchmarks with -benchmem
+# and record them in BENCH_importance.json (name, ns/op, allocs/op, B/op)
+# so the perf trajectory is tracked PR-over-PR. `make bench` runs this.
+#
+# Usage: sh scripts/bench.sh [output.json]
+#   NDE_BENCHTIME=2s   benchtime per benchmark (default 1s)
+#   NDE_BENCH_FILTER   benchmark regexp (default: the tracked hot paths)
+set -eu
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_importance.json}"
+filter="${NDE_BENCH_FILTER:-BenchmarkAblation|BenchmarkMCShapleyParallel|BenchmarkKNNShapley|BenchmarkKNNPredictBatch|BenchmarkPipelineRunObs}"
+benchtime="${NDE_BENCHTIME:-1s}"
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+echo "==> go test -bench '$filter' -benchmem -benchtime $benchtime ."
+go test -run '^$' -bench "$filter" -benchmem -benchtime "$benchtime" . | tee "$tmp"
+
+awk '
+BEGIN { print "["; first = 1 }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)   # strip the -GOMAXPROCS suffix
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "ns/op")     ns = $i
+        if ($(i+1) == "B/op")      bytes = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+    }
+    if (ns == "") next
+    if (!first) printf ",\n"
+    first = 0
+    printf "  {\"name\": \"%s\", \"ns_per_op\": %s", name, ns
+    if (bytes != "")  printf ", \"bytes_per_op\": %s", bytes
+    if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+    printf "}"
+}
+END { print "\n]" }
+' "$tmp" > "$out"
+
+echo "==> wrote $out"

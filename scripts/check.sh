@@ -21,4 +21,10 @@ go build ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+# opt-in: record the tracked hot-path benchmarks (BENCH_importance.json)
+if [ "${NDE_BENCH:-0}" = "1" ]; then
+    echo "==> scripts/bench.sh"
+    sh scripts/bench.sh
+fi
+
 echo "OK"
