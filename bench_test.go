@@ -245,7 +245,10 @@ func BenchmarkHiringPipelineRun(b *testing.B) {
 	s := nde.LoadRecommendationLetters(500, 9)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		hp := nde.BuildHiringPipeline(s.Train, s.Data.Jobs, s.Data.Social)
+		hp, err := nde.BuildHiringPipeline(s.Train, s.Data.Jobs, s.Data.Social)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if _, err := hp.WithProvenance(); err != nil {
 			b.Fatal(err)
 		}
@@ -262,7 +265,10 @@ func BenchmarkHiringPipelineRun(b *testing.B) {
 
 func BenchmarkPipelineRunObs(b *testing.B) {
 	s := nde.LoadRecommendationLetters(500, 9)
-	hp := nde.BuildHiringPipeline(s.Train, s.Data.Jobs, s.Data.Social)
+	hp, err := nde.BuildHiringPipeline(s.Train, s.Data.Jobs, s.Data.Social)
+	if err != nil {
+		b.Fatal(err)
+	}
 	for _, mode := range []string{"off", "on"} {
 		b.Run(mode, func(b *testing.B) {
 			if mode == "on" {

@@ -19,6 +19,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -32,65 +33,78 @@ import (
 )
 
 func main() {
-	n := flag.Int("n", 300, "scenario size")
-	seed := flag.Int64("seed", 42, "random seed")
-	budget := flag.Int("budget", 30, "oracle repair budget")
-	interactive := flag.Bool("interactive", false, "play on stdin instead of running scripted contestants")
-	metrics := flag.String("metrics", "", "dump metrics to this file on exit (Prometheus text; JSON when the path ends in .json)")
-	trace := flag.String("trace", "", "dump the span trace tree to this file on exit")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "nde-challenge:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the whole program behind flag parsing; it returns errors instead
+// of exiting so the smoke tests can drive both modes in-process.
+func run(args []string, in io.Reader, out io.Writer) error {
+	fs := flag.NewFlagSet("nde-challenge", flag.ContinueOnError)
+	n := fs.Int("n", 300, "scenario size")
+	seed := fs.Int64("seed", 42, "random seed")
+	budget := fs.Int("budget", 30, "oracle repair budget")
+	interactive := fs.Bool("interactive", false, "play on stdin instead of running scripted contestants")
+	metrics := fs.String("metrics", "", "dump metrics to this file on exit (Prometheus text; JSON when the path ends in .json)")
+	trace := fs.String("trace", "", "dump the span trace tree to this file on exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *metrics != "" || *trace != "" {
 		obs.Enable()
 	}
-	defer func() {
-		if err := obs.DumpFiles(*metrics, *trace); err != nil {
-			fmt.Fprintln(os.Stderr, "nde-challenge:", err)
-			os.Exit(1)
-		}
-	}()
-
-	if !*interactive {
-		r, err := exp.E9Challenge(*n, *seed)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "nde-challenge:", err)
-			os.Exit(1)
-		}
-		fmt.Println(r.Table)
-		fmt.Println(r.Leaderboard)
-		return
+	var err error
+	if *interactive {
+		err = playInteractive(*n, *seed, *budget, in, out)
+	} else {
+		err = runScripted(*n, *seed, out)
 	}
+	if derr := obs.DumpFiles(*metrics, *trace); derr != nil && err == nil {
+		err = derr
+	}
+	return err
+}
 
-	s := nde.LoadRecommendationLetters(*n, *seed)
+func runScripted(n int, seed int64, out io.Writer) error {
+	r, err := exp.E9Challenge(n, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, r.Table)
+	fmt.Fprintln(out, r.Leaderboard)
+	return nil
+}
+
+func playInteractive(n int, seed int64, budget int, in io.Reader, out io.Writer) error {
+	s := nde.LoadRecommendationLetters(n, seed)
 	dTrain, dValid, dTest, err := nde.FeaturizeLetterSplits(s.Train, s.Valid, s.Test)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "nde-challenge:", err)
-		os.Exit(1)
+		return err
 	}
 	truth := append([]int(nil), dTrain.Y...)
-	dirty, corrupted, err := datagen.FlipDatasetLabels(dTrain, 0.2, *seed+2)
+	dirty, corrupted, err := datagen.FlipDatasetLabels(dTrain, 0.2, seed+2)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "nde-challenge:", err)
-		os.Exit(1)
+		return err
 	}
-	c, err := challenge.New(dirty, truth, dValid, dTest, nil, *budget)
+	c, err := challenge.New(dirty, truth, dValid, dTest, nil, budget)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "nde-challenge:", err)
-		os.Exit(1)
+		return err
 	}
 	base, err := c.BaselineScore()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "nde-challenge:", err)
-		os.Exit(1)
+		return err
 	}
 	var lb challenge.Leaderboard
-	fmt.Printf("data-debugging challenge: %d training rows, %d hidden errors, budget %d\n",
-		dirty.Len(), len(corrupted), *budget)
-	fmt.Printf("baseline hidden-test accuracy: %.4f\n", base)
-	fmt.Println("commands: hint | submit <ids...> | board | quit")
+	fmt.Fprintf(out, "data-debugging challenge: %d training rows, %d hidden errors, budget %d\n",
+		dirty.Len(), len(corrupted), budget)
+	fmt.Fprintf(out, "baseline hidden-test accuracy: %.4f\n", base)
+	fmt.Fprintln(out, "commands: hint | submit <ids...> | board | quit")
 
-	sc := bufio.NewScanner(os.Stdin)
-	for fmt.Print("> "); sc.Scan(); fmt.Print("> ") {
+	sc := bufio.NewScanner(in)
+	for fmt.Fprint(out, "> "); sc.Scan(); fmt.Fprint(out, "> ") {
 		fields := strings.Fields(sc.Text())
 		if len(fields) == 0 {
 			continue
@@ -99,17 +113,17 @@ func main() {
 		case "hint":
 			scores, err := importance.KNNShapley(5, c.Train(), c.Valid())
 			if err != nil {
-				fmt.Println("error:", err)
+				fmt.Fprintln(out, "error:", err)
 				continue
 			}
-			fmt.Println("most suspicious rows:", scores.BottomK(10))
+			fmt.Fprintln(out, "most suspicious rows:", scores.BottomK(10))
 		case "submit":
 			var rows []int
 			ok := true
 			for _, f := range fields[1:] {
 				v, err := strconv.Atoi(f)
 				if err != nil {
-					fmt.Println("error: bad id", f)
+					fmt.Fprintln(out, "error: bad id", f)
 					ok = false
 					break
 				}
@@ -120,17 +134,18 @@ func main() {
 			}
 			score, err := c.Submit(rows)
 			if err != nil {
-				fmt.Println("error:", err)
+				fmt.Fprintln(out, "error:", err)
 				continue
 			}
-			fmt.Printf("hidden-test accuracy: %.4f (budget left %d)\n", score, c.BudgetLeft())
+			fmt.Fprintf(out, "hidden-test accuracy: %.4f (budget left %d)\n", score, c.BudgetLeft())
 			lb.Submit(challenge.Entry{Name: "you", Score: score, Repairs: len(rows), Baseline: base})
 		case "board":
-			fmt.Println(lb.String())
+			fmt.Fprintln(out, lb.String())
 		case "quit", "exit":
-			return
+			return nil
 		default:
-			fmt.Println("unknown command:", fields[0])
+			fmt.Fprintln(out, "unknown command:", fields[0])
 		}
 	}
+	return sc.Err()
 }

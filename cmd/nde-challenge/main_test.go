@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunScriptedContestants(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-n", "80", "-seed", "3"}, strings.NewReader(""), &out); err != nil {
+		t.Fatalf("scripted run: %v", err)
+	}
+	if !strings.Contains(out.String(), "rank") {
+		t.Errorf("missing leaderboard in output:\n%s", out.String())
+	}
+}
+
+// Drives the interactive loop over a scripted stdin. The duplicate ids in
+// the first submit must consume exactly one budget unit (the Submit dedup
+// fix), the out-of-range id must print an error instead of panicking, and
+// the session must end cleanly on quit.
+func TestRunInteractiveSession(t *testing.T) {
+	script := strings.Join([]string{
+		"submit 5 5",
+		"submit 999999",
+		"submit notanid",
+		"flarb",
+		"hint",
+		"board",
+		"quit",
+	}, "\n") + "\n"
+	var out bytes.Buffer
+	err := run([]string{"-n", "80", "-seed", "3", "-budget", "5", "-interactive"},
+		strings.NewReader(script), &out)
+	if err != nil {
+		t.Fatalf("interactive run: %v", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "budget left 4") {
+		t.Errorf("submit 5 5 should cost exactly one budget unit; output:\n%s", got)
+	}
+	if !strings.Contains(got, "error:") {
+		t.Errorf("out-of-range submit should print an error; output:\n%s", got)
+	}
+	if !strings.Contains(got, "unknown command: flarb") {
+		t.Errorf("unknown command should be reported; output:\n%s", got)
+	}
+	if !strings.Contains(got, "most suspicious rows:") {
+		t.Errorf("hint should print suspicious rows; output:\n%s", got)
+	}
+}
+
+func TestRunInteractiveEOF(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-n", "80", "-seed", "3", "-interactive"},
+		strings.NewReader(""), &out); err != nil {
+		t.Fatalf("EOF on stdin should end the session cleanly: %v", err)
+	}
+}

@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"nde/internal/datagen"
@@ -18,61 +19,76 @@ import (
 )
 
 func main() {
-	dir := flag.String("dir", "data", "output directory")
-	n := flag.Int("n", 300, "number of applicants")
-	seed := flag.Int64("seed", 42, "random seed")
-	flip := flag.Float64("flip", 0, "fraction of sentiment labels to flip")
-	missing := flag.Float64("missing", 0, "fraction of employer_rating values to null out (MNAR)")
-	metrics := flag.String("metrics", "", "dump metrics to this file on exit (Prometheus text; JSON when the path ends in .json)")
-	trace := flag.String("trace", "", "dump the span trace tree to this file on exit")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "nde-datagen:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the whole program behind flag parsing; it returns errors instead
+// of exiting so the smoke tests can drive it in-process.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("nde-datagen", flag.ContinueOnError)
+	dir := fs.String("dir", "data", "output directory")
+	n := fs.Int("n", 300, "number of applicants")
+	seed := fs.Int64("seed", 42, "random seed")
+	flip := fs.Float64("flip", 0, "fraction of sentiment labels to flip")
+	missing := fs.Float64("missing", 0, "fraction of employer_rating values to null out (MNAR)")
+	metrics := fs.String("metrics", "", "dump metrics to this file on exit (Prometheus text; JSON when the path ends in .json)")
+	trace := fs.String("trace", "", "dump the span trace tree to this file on exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *metrics != "" || *trace != "" {
 		obs.Enable()
 	}
-	defer func() {
-		if err := obs.DumpFiles(*metrics, *trace); err != nil {
-			fmt.Fprintln(os.Stderr, "nde-datagen:", err)
-			os.Exit(1)
-		}
-	}()
+	err := generate(*dir, *n, *seed, *flip, *missing, out)
+	if derr := obs.DumpFiles(*metrics, *trace); derr != nil && err == nil {
+		err = derr
+	}
+	return err
+}
 
+func generate(dir string, n int, seed int64, flip, missing float64, out io.Writer) error {
+	if flip < 0 || flip > 1 {
+		return fmt.Errorf("-flip %v outside [0,1]", flip)
+	}
+	if missing < 0 || missing > 1 {
+		return fmt.Errorf("-missing %v outside [0,1]", missing)
+	}
 	gsp := obs.StartSpan("datagen.hiring")
-	gsp.SetInt("n", int64(*n))
-	h := datagen.Hiring(datagen.Config{N: *n, Seed: *seed})
+	gsp.SetInt("n", int64(n))
+	h := datagen.Hiring(datagen.Config{N: n, Seed: seed})
 	gsp.SetInt("letters", int64(h.Letters.NumRows())).End()
 	letters := h.Letters
-	if *flip > 0 {
-		dirty, corrupted, err := datagen.InjectLabelErrors(letters, "sentiment", *flip, *seed+1)
+	if flip > 0 {
+		dirty, corrupted, err := datagen.InjectLabelErrors(letters, "sentiment", flip, seed+1)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		letters = dirty
-		fmt.Printf("flipped %d sentiment labels\n", len(corrupted))
+		fmt.Fprintf(out, "flipped %d sentiment labels\n", len(corrupted))
 	}
-	if *missing > 0 {
-		dirty, affected, err := datagen.InjectMissing(letters, "employer_rating", *missing, datagen.MissingMNAR, *seed+2)
+	if missing > 0 {
+		dirty, affected, err := datagen.InjectMissing(letters, "employer_rating", missing, datagen.MissingMNAR, seed+2)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		letters = dirty
-		fmt.Printf("nulled %d employer ratings (MNAR)\n", len(affected))
+		fmt.Fprintf(out, "nulled %d employer ratings (MNAR)\n", len(affected))
 	}
 
-	out := &datagen.HiringData{
+	data := &datagen.HiringData{
 		Letters:      letters,
 		Jobs:         h.Jobs,
 		Social:       h.Social,
 		Demographics: h.Demographics,
 	}
-	if err := datagen.SaveHiringCSV(out, *dir); err != nil {
-		fail(err)
+	if err := datagen.SaveHiringCSV(data, dir); err != nil {
+		return err
 	}
-	fmt.Printf("wrote letters(%d), jobs(%d), social(%d), demographics(%d) rows to %s\n",
-		out.Letters.NumRows(), out.Jobs.NumRows(), out.Social.NumRows(), out.Demographics.NumRows(), *dir)
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "nde-datagen:", err)
-	os.Exit(1)
+	fmt.Fprintf(out, "wrote letters(%d), jobs(%d), social(%d), demographics(%d) rows to %s\n",
+		data.Letters.NumRows(), data.Jobs.NumRows(), data.Social.NumRows(), data.Demographics.NumRows(), dir)
+	return nil
 }

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunWritesScenarioCSVs(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	err := run([]string{"-dir", dir, "-n", "30", "-seed", "7", "-flip", "0.1", "-missing", "0.1"}, &out)
+	if err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+	for _, f := range []string{"letters.csv", "jobs.csv", "social.csv", "demographics.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("missing %s: %v", f, err)
+		}
+	}
+	if !strings.Contains(out.String(), "wrote letters(30)") {
+		t.Errorf("unexpected output:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsBadFractions(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-dir", t.TempDir(), "-n", "20", "-flip", "2.0"}, &out); err == nil {
+		t.Fatal("expected error for flip fraction > 1")
+	}
+	if err := run([]string{"-dir", t.TempDir(), "-n", "20", "-missing", "-0.5"}, &out); err == nil {
+		t.Fatal("expected error for negative missing fraction")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-no-such-flag"}, &out); err == nil {
+		t.Fatal("expected flag parse error")
+	}
+}

@@ -9,6 +9,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -17,23 +18,37 @@ import (
 )
 
 func main() {
-	n := flag.Int("n", 300, "scenario size (number of recommendation letters)")
-	seed := flag.Int64("seed", 42, "random seed")
-	only := flag.String("only", "", "run a single experiment id (e.g. E3); empty = all")
-	metrics := flag.String("metrics", "", "dump metrics to this file on exit (Prometheus text; JSON when the path ends in .json)")
-	trace := flag.String("trace", "", "dump the span trace tree to this file on exit")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "nde-figures:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the whole program behind flag parsing; it returns errors instead
+// of exiting so the smoke tests can drive it in-process.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("nde-figures", flag.ContinueOnError)
+	n := fs.Int("n", 300, "scenario size (number of recommendation letters)")
+	seed := fs.Int64("seed", 42, "random seed")
+	only := fs.String("only", "", "run a single experiment id (e.g. E3); empty = all")
+	metrics := fs.String("metrics", "", "dump metrics to this file on exit (Prometheus text; JSON when the path ends in .json)")
+	trace := fs.String("trace", "", "dump the span trace tree to this file on exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *metrics != "" || *trace != "" {
 		obs.Enable()
 	}
-	defer func() {
-		if err := obs.DumpFiles(*metrics, *trace); err != nil {
-			fmt.Fprintln(os.Stderr, "nde-figures:", err)
-			os.Exit(1)
-		}
-	}()
+	err := runExperiments(*n, *seed, *only, out)
+	if derr := obs.DumpFiles(*metrics, *trace); derr != nil && err == nil {
+		err = derr
+	}
+	return err
+}
 
+func runExperiments(nArg int, seedArg int64, only string, out io.Writer) error {
+	n, seed := &nArg, &seedArg
 	type experiment struct {
 		id  string
 		run func() (*exp.Table, string, error)
@@ -169,7 +184,7 @@ func main() {
 
 	ran := 0
 	for _, e := range experiments {
-		if *only != "" && !strings.EqualFold(*only, e.id) {
+		if only != "" && !strings.EqualFold(only, e.id) {
 			continue
 		}
 		sp := obs.StartSpan("figures.experiment")
@@ -177,21 +192,20 @@ func main() {
 		table, extra, err := e.run()
 		sp.End()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "nde-figures: %s: %v\n", e.id, err)
-			os.Exit(1)
+			return fmt.Errorf("%s: %w", e.id, err)
 		}
 		obs.Inc("figures_experiments_total")
-		fmt.Println(table)
+		fmt.Fprintln(out, table)
 		if extra != "" {
-			fmt.Println(extra)
+			fmt.Fprintln(out, extra)
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
 		ran++
 	}
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "nde-figures: unknown experiment %q\n", *only)
-		os.Exit(2)
+		return fmt.Errorf("unknown experiment %q", only)
 	}
+	return nil
 }
 
 // sparkline renders a coarse ASCII trend for a numeric series.

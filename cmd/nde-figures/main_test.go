@@ -1,0 +1,35 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-only", "E1", "-n", "80", "-seed", "2"}, &out); err != nil {
+		t.Fatalf("-only E1: %v", err)
+	}
+	if out.Len() == 0 {
+		t.Error("E1 produced no output")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-only", "E99"}, &out)
+	if err == nil {
+		t.Fatal("expected error for unknown experiment id")
+	}
+	if !strings.Contains(err.Error(), "unknown experiment") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Fatal("expected flag parse error")
+	}
+}

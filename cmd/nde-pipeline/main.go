@@ -4,60 +4,90 @@
 //
 // Usage:
 //
-//	nde-pipeline [-n 300] [-seed 42] [-dot] [-metrics out.prom] [-trace out.txt]
+//	nde-pipeline [-n 300] [-seed 42] [-dot] [-data dir] [-metrics out.prom] [-trace out.txt]
 //
-// With -metrics and/or -trace, observability is enabled for the run: the
-// metrics registry is dumped to the given file on exit (Prometheus text
-// format, or JSON when the path ends in .json), the span tree — one span
-// per pipeline operator with rows in/out and wall time — goes to the trace
-// file, and the printed query plan is annotated with per-operator costs.
+// With -data, the scenario tables are loaded from CSV files previously
+// written by nde-datagen instead of being regenerated; malformed or
+// corrupted CSVs are reported as errors, never panics. With -metrics
+// and/or -trace, observability is enabled for the run: the metrics
+// registry is dumped to the given file on exit (Prometheus text format, or
+// JSON when the path ends in .json), the span tree — one span per pipeline
+// operator with rows in/out and wall time — goes to the trace file, and
+// the printed query plan is annotated with per-operator costs.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"nde"
+	"nde/internal/datagen"
 	"nde/internal/obs"
 	"nde/internal/pipeline"
 )
 
 func main() {
-	n := flag.Int("n", 300, "scenario size")
-	seed := flag.Int64("seed", 42, "random seed")
-	dot := flag.Bool("dot", false, "also print the Graphviz dot form of the plan")
-	metrics := flag.String("metrics", "", "dump metrics to this file on exit (Prometheus text; JSON when the path ends in .json)")
-	trace := flag.String("trace", "", "dump the span trace tree to this file on exit")
-	flag.Parse()
-
-	if *metrics != "" || *trace != "" {
-		obs.Enable()
-	}
-	err := run(*n, *seed, *dot)
-	if err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "nde-pipeline:", err)
-	}
-	if derr := obs.DumpFiles(*metrics, *trace); derr != nil {
-		fmt.Fprintln(os.Stderr, "nde-pipeline:", derr)
-		if err == nil {
-			err = derr
-		}
-	}
-	if err != nil {
 		os.Exit(1)
 	}
 }
 
-func run(n int, seed int64, dot bool) error {
-	s := nde.LoadRecommendationLetters(n, seed)
-	hp := nde.BuildHiringPipeline(s.Train, s.Data.Jobs, s.Data.Social)
+// run is the whole program behind flag parsing; it returns errors instead
+// of exiting so the smoke tests can drive it in-process.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("nde-pipeline", flag.ContinueOnError)
+	n := fs.Int("n", 300, "scenario size")
+	seed := fs.Int64("seed", 42, "random seed")
+	dot := fs.Bool("dot", false, "also print the Graphviz dot form of the plan")
+	data := fs.String("data", "", "load scenario tables from CSVs in this directory instead of generating them")
+	metrics := fs.String("metrics", "", "dump metrics to this file on exit (Prometheus text; JSON when the path ends in .json)")
+	trace := fs.String("trace", "", "dump the span trace tree to this file on exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
-	fmt.Println("pipeline query plan:")
-	fmt.Println(hp.ShowQueryPlan())
+	if *metrics != "" || *trace != "" {
+		obs.Enable()
+	}
+	err := pipelineReport(*n, *seed, *dot, *data, out)
+	if derr := obs.DumpFiles(*metrics, *trace); derr != nil && err == nil {
+		err = derr
+	}
+	return err
+}
+
+// loadScenario builds the hiring scenario either synthetically or from a
+// CSV directory. CSV data is external input: it goes through the facade's
+// degenerate-input validation and can fail with a clean error.
+func loadScenario(n int, seed int64, dataDir string) (*nde.HiringScenario, error) {
+	if dataDir == "" {
+		return nde.LoadRecommendationLetters(n, seed), nil
+	}
+	h, err := datagen.LoadHiringCSV(dataDir)
+	if err != nil {
+		return nil, err
+	}
+	return nde.ScenarioFromData(h, seed)
+}
+
+func pipelineReport(n int, seed int64, dot bool, dataDir string, out io.Writer) error {
+	s, err := loadScenario(n, seed, dataDir)
+	if err != nil {
+		return err
+	}
+	hp, err := nde.BuildHiringPipeline(s.Train, s.Data.Jobs, s.Data.Social)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintln(out, "pipeline query plan:")
+	fmt.Fprintln(out, hp.ShowQueryPlan())
 	if dot {
-		fmt.Println("\ndot:")
-		fmt.Println(hp.Pipeline.Dot(hp.Output))
+		fmt.Fprintln(out, "\ndot:")
+		fmt.Fprintln(out, hp.Pipeline.Dot(hp.Output))
 	}
 
 	rows := pipeline.NewRowCountInspection()
@@ -69,19 +99,19 @@ func run(n int, seed int64, dot bool) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("\noutput: %d rows x %d features (%d labels)\n",
+	fmt.Fprintf(out, "\noutput: %d rows x %d features (%d labels)\n",
 		ft.Data.Len(), ft.Data.Dim(), len(ft.LabelNames))
-	fmt.Printf("output row count at sink operator: %d\n", rows.Counts[hp.Output.ID()])
+	fmt.Fprintf(out, "output row count at sink operator: %d\n", rows.Counts[hp.Output.ID()])
 
 	if rs := hp.Pipeline.LastRunStats(); rs != nil {
-		fmt.Printf("\nannotated query plan (last run: %s, %d memo hits / %d misses):\n",
+		fmt.Fprintf(out, "\nannotated query plan (last run: %s, %d memo hits / %d misses):\n",
 			rs.Wall, rs.MemoHits, rs.MemoMisses)
-		fmt.Println(hp.Pipeline.RenderPlanWithCosts(hp.Output))
+		fmt.Fprintln(out, hp.Pipeline.RenderPlanWithCosts(hp.Output))
 	}
 
 	shift, node := dist.MaxShift(hp.Pipeline, hp.Output)
 	if node != nil {
-		fmt.Printf("largest sentiment-distribution shift: %.3f at %s\n", shift, node.Label())
+		fmt.Fprintf(out, "largest sentiment-distribution shift: %.3f at %s\n", shift, node.Label())
 	}
 
 	// provenance statistics
@@ -95,7 +125,7 @@ func run(n int, seed int64, dot bool) error {
 			maxFan = len(outs)
 		}
 	}
-	fmt.Printf("provenance: %d/%d train tuples reach the output (max fan-out %d)\n",
+	fmt.Fprintf(out, "provenance: %d/%d train tuples reach the output (max fan-out %d)\n",
 		supported, s.Train.NumRows(), maxFan)
 
 	issues, err := pipeline.ScreenLeakage(s.Train, s.Test, []string{"person_id"})
@@ -103,10 +133,10 @@ func run(n int, seed int64, dot bool) error {
 		return err
 	}
 	if len(issues) == 0 {
-		fmt.Println("screening: no train/test leakage detected")
+		fmt.Fprintln(out, "screening: no train/test leakage detected")
 	}
 	for _, is := range issues {
-		fmt.Println("screening:", is)
+		fmt.Fprintln(out, "screening:", is)
 	}
 	return nil
 }

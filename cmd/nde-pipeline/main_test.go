@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nde"
+	"nde/internal/datagen"
+	"nde/internal/frame"
+)
+
+func TestRunCleanSynthetic(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-n", "120", "-seed", "1"}, &out); err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+	if !strings.Contains(out.String(), "pipeline query plan:") {
+		t.Errorf("missing query plan in output:\n%s", out.String())
+	}
+}
+
+func TestRunFromCSVDirectory(t *testing.T) {
+	dir := t.TempDir()
+	h := datagen.Hiring(datagen.Config{N: 120, Seed: 2})
+	if err := datagen.SaveHiringCSV(h, dir); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-data", dir, "-seed", "2"}, &out); err != nil {
+		t.Fatalf("CSV-backed run: %v", err)
+	}
+	if !strings.Contains(out.String(), "screening:") {
+		t.Errorf("missing screening report in output:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsMalformedCSV(t *testing.T) {
+	dir := t.TempDir()
+	h := datagen.Hiring(datagen.Config{N: 60, Seed: 5})
+	if err := datagen.SaveHiringCSV(h, dir); err != nil {
+		t.Fatal(err)
+	}
+	garbage := "person_id,job_id\n\"unterminated quote,1\n"
+	if err := os.WriteFile(filepath.Join(dir, "letters.csv"), []byte(garbage), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err := run([]string{"-data", dir}, &out)
+	if err == nil {
+		t.Fatal("expected error for malformed letters.csv")
+	}
+	if !strings.Contains(err.Error(), "letters.csv") {
+		t.Errorf("error does not name the bad file: %v", err)
+	}
+}
+
+// A CSV whose employer_rating column is all-NaN must be rejected by the
+// facade's degenerate-input validation — the literal string "NaN" parses
+// as a float and would otherwise poison the feature matrix silently.
+func TestRunRejectsNaNRatingsCSV(t *testing.T) {
+	dir := t.TempDir()
+	h := datagen.Hiring(datagen.Config{N: 120, Seed: 2})
+	nan := make([]float64, h.Letters.NumRows())
+	for i := range nan {
+		nan[i] = math.NaN()
+	}
+	poisoned, err := h.Letters.WithColumn(frame.NewFloatSeries("employer_rating", nan, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Letters = poisoned
+	if err := datagen.SaveHiringCSV(h, dir); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err = run([]string{"-data", dir, "-seed", "2"}, &out)
+	if err == nil {
+		t.Fatal("expected error for NaN employer ratings")
+	}
+	if !errors.Is(err, nde.ErrDegenerateInput) {
+		t.Errorf("error is not in the ErrDegenerateInput family: %v", err)
+	}
+}

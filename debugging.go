@@ -1,10 +1,13 @@
 package nde
 
 import (
+	"fmt"
+
 	"nde/internal/challenge"
 	"nde/internal/cleaning"
 	"nde/internal/importance"
 	"nde/internal/ml"
+	"nde/internal/nderr"
 	"nde/internal/pipeline"
 	"nde/internal/prov"
 	"nde/internal/uncertain"
@@ -38,6 +41,12 @@ type (
 // the provenance shortcut (no pipeline replays), retraining the default
 // model per variant.
 func WhatIf(ft *Featurized, variants []RemovalVariant, valid *Dataset) ([]WhatIfResult, error) {
+	if ft == nil || ft.Data == nil {
+		return nil, nderr.Empty("nde: featurized pipeline output is nil")
+	}
+	if err := checkPair("pipeline output", ft.Data, "valid", valid); err != nil {
+		return nil, err
+	}
 	return pipeline.WhatIfRemovals(ft, variants, func() ml.Classifier { return DefaultModel() }, valid)
 }
 
@@ -45,12 +54,18 @@ func WhatIf(ft *Featurized, variants []RemovalVariant, valid *Dataset) ([]WhatIf
 // probability of their own label (confident learning); low scores indicate
 // likely label errors.
 func SelfConfidenceScores(train *Dataset, seed int64) (Scores, error) {
+	if err := checkTrainable("train", train); err != nil {
+		return nil, err
+	}
 	return importance.SelfConfidence(train, importance.NoiseConfig{Seed: seed})
 }
 
 // MarginScores ranks training examples by the out-of-fold margin between
 // their label's probability and the best other class (AUM-style).
 func MarginScores(train *Dataset, seed int64) (Scores, error) {
+	if err := checkTrainable("train", train); err != nil {
+		return nil, err
+	}
 	return importance.MarginScore(train, importance.NoiseConfig{Seed: seed})
 }
 
@@ -58,6 +73,12 @@ func MarginScores(train *Dataset, seed int64) (Scores, error) {
 // model: the approximate change in validation loss caused by removing each
 // training point. Harmful points score negative.
 func InfluenceScores(train, valid *Dataset) (Scores, error) {
+	if err := checkTrainable("train", train); err != nil {
+		return nil, err
+	}
+	if err := checkPair("train", train, "valid", valid); err != nil {
+		return nil, err
+	}
 	return importance.Influence(train, valid, importance.InfluenceConfig{})
 }
 
@@ -65,6 +86,15 @@ func InfluenceScores(train, valid *Dataset) (Scores, error) {
 // the default kNN utility — the expensive general-purpose estimator, for
 // when the model under debugging is not a kNN.
 func DataShapleyScores(train, valid *Dataset, permutations int, seed int64) (Scores, error) {
+	if err := checkTrainable("train", train); err != nil {
+		return nil, err
+	}
+	if err := checkPair("train", train, "valid", valid); err != nil {
+		return nil, err
+	}
+	if permutations < 1 {
+		return nil, fmt.Errorf("nde: Data Shapley needs at least one permutation, got %d: %w", permutations, nderr.ErrDegenerateInput)
+	}
 	u := importance.AccuracyUtility(func() ml.Classifier { return DefaultModel() }, train, valid)
 	return importance.MCShapley(train.Len(), u, importance.MCShapleyConfig{
 		Permutations: permutations,
@@ -77,6 +107,21 @@ func DataShapleyScores(train, valid *Dataset, permutations int, seed int64) (Sco
 // label repairs: rank with kNN-Shapley, clean batches, retrain, repeat
 // until the budget is spent. truth supplies the hidden correct labels.
 func IterativeCleaning(train, valid, test *Dataset, truth []int, batch, budget int) (*CleaningResult, error) {
+	if err := checkTrainable("train", train); err != nil {
+		return nil, err
+	}
+	if err := checkPair("train", train, "valid", valid); err != nil {
+		return nil, err
+	}
+	if err := checkPair("train", train, "test", test); err != nil {
+		return nil, err
+	}
+	if len(truth) != train.Len() {
+		return nil, fmt.Errorf("nde: %d truth labels for %d training rows: %w", len(truth), train.Len(), nderr.ErrShapeMismatch)
+	}
+	if batch < 1 || budget < 1 {
+		return nil, fmt.Errorf("nde: cleaning batch %d and budget %d must be positive: %w", batch, budget, nderr.ErrDegenerateInput)
+	}
 	return cleaning.IterativeClean(train, valid, test,
 		&cleaning.LabelOracle{Truth: truth},
 		&cleaning.KNNShapleyStrategy{K: 5},
@@ -88,6 +133,15 @@ func IterativeCleaning(train, valid, test *Dataset, truth []int, batch, budget i
 // contestant sees dirty training data and a validation set, and submits row
 // ids to the oracle within the repair budget.
 func NewDebuggingChallenge(dirty *Dataset, truth []int, valid, hiddenTest *Dataset, budget int) (*Challenge, error) {
+	if err := checkDataset("dirty train", dirty); err != nil {
+		return nil, err
+	}
+	if err := checkPair("dirty train", dirty, "valid", valid); err != nil {
+		return nil, err
+	}
+	if err := checkPair("dirty train", dirty, "hidden test", hiddenTest); err != nil {
+		return nil, err
+	}
 	return challenge.New(dirty, truth, valid, hiddenTest, func() ml.Classifier { return DefaultModel() }, budget)
 }
 
@@ -97,6 +151,18 @@ func NewDebuggingChallenge(dirty *Dataset, truth []int, valid, hiddenTest *Datas
 // validation set. It returns the baseline violation and the top
 // explanations.
 func FairnessExplanations(train *Dataset, attrs *Frame, valid *Dataset, topK int) (float64, []Subgroup, error) {
+	if err := checkTrainable("train", train); err != nil {
+		return 0, nil, err
+	}
+	if err := checkDataset("valid", valid); err != nil {
+		return 0, nil, err
+	}
+	if attrs == nil {
+		return 0, nil, nderr.Empty("nde: attribute frame is nil")
+	}
+	if attrs.NumRows() != train.Len() {
+		return 0, nil, fmt.Errorf("nde: %d attribute rows for %d training rows: %w", attrs.NumRows(), train.Len(), nderr.ErrShapeMismatch)
+	}
 	return importance.GopherExplanations(train, attrs, valid, importance.GopherConfig{TopK: topK})
 }
 
@@ -104,12 +170,24 @@ func FairnessExplanations(train *Dataset, attrs *Frame, valid *Dataset, topK int
 // possible worlds of symbolically uncertain training data (consistent range
 // approximation).
 func EstimateFairnessRange(train *SymbolicDataset, valid *Dataset, worlds int, seed int64) (*FairnessRange, error) {
+	if train == nil {
+		return nil, nderr.Empty("nde: symbolic training set is nil")
+	}
+	if err := checkDataset("valid", valid); err != nil {
+		return nil, err
+	}
 	return uncertain.EstimateFairnessRange(train, valid, uncertain.FairnessRangeConfig{Worlds: worlds, Seed: seed})
 }
 
 // NewRAGCorpus embeds a document corpus for retrieval-augmented inference
 // with per-document importance debugging.
 func NewRAGCorpus(docs []string, labels []int) (*RAGCorpus, error) {
+	if len(docs) == 0 {
+		return nil, nderr.Empty("nde: document corpus")
+	}
+	if len(docs) != len(labels) {
+		return nil, fmt.Errorf("nde: %d documents for %d labels: %w", len(docs), len(labels), nderr.ErrShapeMismatch)
+	}
 	return importance.NewRAGCorpus(docs, labels)
 }
 
@@ -117,6 +195,12 @@ func NewRAGCorpus(docs []string, labels []int) (*RAGCorpus, error) {
 // ids — the most common data-leakage bug in split construction. It returns
 // human-readable issues (empty = clean).
 func ScreenTrainTestLeakage(train, test *Frame) ([]string, error) {
+	if err := checkFrame("train", train, "person_id"); err != nil {
+		return nil, err
+	}
+	if err := checkFrame("test", test, "person_id"); err != nil {
+		return nil, err
+	}
 	issues, err := pipeline.ScreenLeakage(train, test, []string{"person_id"})
 	if err != nil {
 		return nil, err

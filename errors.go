@@ -1,0 +1,33 @@
+package nde
+
+import "nde/internal/nderr"
+
+// The ErrDegenerateInput family classifies bad inputs rejected at the
+// library boundary. Every exported facade function returns an error —
+// never panics — when handed the dirty data this library exists to debug:
+// NaN/Inf features, empty frames or datasets, row-count mismatches,
+// single-class label sets, or impossible neighborhood sizes.
+//
+// All sub-sentinels wrap ErrDegenerateInput, so
+//
+//	errors.Is(err, nde.ErrDegenerateInput)
+//
+// matches the whole family, while matching a specific sentinel narrows to
+// one corruption class. Panics remain only in Must* helpers and in
+// internal kernels whose preconditions are validated upstream; hitting one
+// of those is a programmer bug, not a data error. See the "Error handling
+// contract" sections of README.md and DESIGN.md.
+var (
+	// ErrDegenerateInput is the root sentinel of the family.
+	ErrDegenerateInput = nderr.ErrDegenerateInput
+	// ErrNonFinite marks NaN or ±Inf feature values.
+	ErrNonFinite = nderr.ErrNonFinite
+	// ErrEmptyInput marks empty frames, datasets, or validation sets.
+	ErrEmptyInput = nderr.ErrEmptyInput
+	// ErrShapeMismatch marks misaligned lengths or dimensions.
+	ErrShapeMismatch = nderr.ErrShapeMismatch
+	// ErrSingleClass marks label sets with fewer than two classes.
+	ErrSingleClass = nderr.ErrSingleClass
+	// ErrBadK marks neighborhood sizes outside [1, n].
+	ErrBadK = nderr.ErrBadK
+)

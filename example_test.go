@@ -26,7 +26,7 @@ func Example() {
 // Building and inspecting the Figure-3 pipeline.
 func ExampleBuildHiringPipeline() {
 	scenario := nde.LoadRecommendationLetters(100, 1)
-	pipe := nde.BuildHiringPipeline(scenario.Train, scenario.Data.Jobs, scenario.Data.Social)
+	pipe, _ := nde.BuildHiringPipeline(scenario.Train, scenario.Data.Jobs, scenario.Data.Social)
 	ft, _ := pipe.WithProvenance()
 	fmt.Printf("pipeline produced %d training rows with provenance\n", ft.Data.Len())
 	// Output:

@@ -30,7 +30,10 @@ func main() {
 		log.Fatal(err)
 	}
 
-	pipe := nde.BuildHiringPipeline(trainErr, scenario.Data.Jobs, scenario.Data.Social)
+	pipe, err := nde.BuildHiringPipeline(trainErr, scenario.Data.Jobs, scenario.Data.Social)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("Pipeline query plan:")
 	fmt.Println(pipe.ShowQueryPlan())
 

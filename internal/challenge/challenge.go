@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"nde/internal/ml"
+	"nde/internal/nderr"
 )
 
 // Challenge is one instance of the debugging game. Construct it with New;
@@ -33,8 +34,17 @@ type Challenge struct {
 // hiddenTest the hidden scoring set, and budget the total number of rows
 // the oracle will repair across all submissions.
 func New(dirty *ml.Dataset, truth []int, valid, hiddenTest *ml.Dataset, newModel func() ml.Classifier, budget int) (*Challenge, error) {
+	if dirty == nil || dirty.Len() == 0 {
+		return nil, nderr.Empty("challenge: training set")
+	}
+	if valid == nil || valid.Len() == 0 {
+		return nil, nderr.Empty("challenge: validation set")
+	}
+	if hiddenTest == nil || hiddenTest.Len() == 0 {
+		return nil, nderr.Empty("challenge: hidden test set")
+	}
 	if len(truth) != dirty.Len() {
-		return nil, fmt.Errorf("challenge: %d truths for %d rows", len(truth), dirty.Len())
+		return nil, fmt.Errorf("challenge: %d truths for %d rows: %w", len(truth), dirty.Len(), nderr.ErrShapeMismatch)
 	}
 	if budget <= 0 {
 		return nil, fmt.Errorf("challenge: budget must be positive, got %d", budget)
@@ -70,15 +80,18 @@ func (c *Challenge) BaselineScore() (float64, error) {
 }
 
 // Submit hands row ids to the cleaning oracle. Already-cleaned ids are
-// free; new ids consume budget. The oracle repairs the labels, retrains,
-// and returns the hidden-test accuracy.
+// free, and a row repeated within one submission is charged only once; new
+// ids consume budget. The oracle repairs the labels, retrains, and returns
+// the hidden-test accuracy.
 func (c *Challenge) Submit(rows []int) (float64, error) {
 	var fresh []int
+	seen := make(map[int]bool, len(rows))
 	for _, r := range rows {
 		if r < 0 || r >= c.dirty.Len() {
 			return 0, fmt.Errorf("challenge: row %d out of range [0,%d)", r, c.dirty.Len())
 		}
-		if !c.cleaned[r] {
+		if !c.cleaned[r] && !seen[r] {
+			seen[r] = true
 			fresh = append(fresh, r)
 		}
 	}

@@ -160,3 +160,52 @@ func TestLeaderboardTieBreaks(t *testing.T) {
 		t.Error("Top should clamp")
 	}
 }
+
+// Regression: a row id repeated within one submission must be charged only
+// once — the pre-fix code appended it to the fresh list twice and
+// double-charged the budget.
+func TestSubmitDedupesRepeatedRowsWithinOneCall(t *testing.T) {
+	c, _ := newChallenge(t, 10)
+	if _, err := c.Submit([]int{5, 5}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.BudgetLeft(); got != 9 {
+		t.Fatalf("budget left after Submit([5,5]) = %d, want 9 (repeat must cost one unit)", got)
+	}
+	// resubmitting an already-cleaned row stays free
+	if _, err := c.Submit([]int{5, 5, 5}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.BudgetLeft(); got != 9 {
+		t.Fatalf("budget left after resubmitting cleaned row = %d, want 9", got)
+	}
+	// a mixed submission charges only the distinct fresh ids
+	if _, err := c.Submit([]int{5, 7, 7, 8}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.BudgetLeft(); got != 7 {
+		t.Fatalf("budget left after Submit([5,7,7,8]) = %d, want 7", got)
+	}
+}
+
+// Degenerate construction inputs must error, not panic.
+func TestNewRejectsDegenerateSets(t *testing.T) {
+	clean := blobs(20, 2.2, 301)
+	valid := blobs(10, 2.2, 302)
+	hidden := blobs(10, 2.2, 303)
+	empty := &ml.Dataset{X: linalg.NewMatrix(0, 2)}
+	cases := []struct {
+		name                 string
+		dirty, valid, hidden *ml.Dataset
+	}{
+		{"nil dirty", nil, valid, hidden},
+		{"empty dirty", empty, valid, hidden},
+		{"nil valid", clean, nil, hidden},
+		{"empty hidden", clean, valid, empty},
+	}
+	for _, tc := range cases {
+		if _, err := New(tc.dirty, nil, tc.valid, tc.hidden, nil, 5); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"nde/internal/frame"
+	"nde/internal/nderr"
 )
 
 // ImputeStrategy selects how an Imputer fills nulls.
@@ -57,19 +58,19 @@ func (e *Imputer) Fit(s *frame.Series) error {
 	case ImputeMean:
 		m, ok := s.Mean()
 		if !ok {
-			return fmt.Errorf("encode: cannot impute mean of column %q with no numeric values", s.Name())
+			return fmt.Errorf("encode: cannot impute mean of column %q with no numeric values: %w", s.Name(), nderr.ErrEmptyInput)
 		}
 		e.fill = frame.Float(m)
 	case ImputeMedian:
 		med, ok := seriesMedian(s)
 		if !ok {
-			return fmt.Errorf("encode: cannot impute median of column %q with no numeric values", s.Name())
+			return fmt.Errorf("encode: cannot impute median of column %q with no numeric values: %w", s.Name(), nderr.ErrEmptyInput)
 		}
 		e.fill = frame.Float(med)
 	case ImputeMode:
 		m, ok := s.Mode()
 		if !ok {
-			return fmt.Errorf("encode: cannot impute mode of column %q with no values", s.Name())
+			return fmt.Errorf("encode: cannot impute mode of column %q with no values: %w", s.Name(), nderr.ErrEmptyInput)
 		}
 		e.fill = m
 	case ImputeConstant:

@@ -29,7 +29,10 @@ func E17DatascopeAblation(n int, seed int64) (*E17Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	hp := nde.BuildHiringPipeline(dirty, s.Data.Jobs, s.Data.Social)
+	hp, err := nde.BuildHiringPipeline(dirty, s.Data.Jobs, s.Data.Social)
+	if err != nil {
+		return nil, err
+	}
 	ft, err := hp.WithProvenance()
 	if err != nil {
 		return nil, err

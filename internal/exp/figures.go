@@ -102,7 +102,10 @@ func E2Figure3(n int, seed int64) (*E2Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	hp := nde.BuildHiringPipeline(dirty, s.Data.Jobs, s.Data.Social)
+	hp, err := nde.BuildHiringPipeline(dirty, s.Data.Jobs, s.Data.Social)
+	if err != nil {
+		return nil, err
+	}
 	ft, err := hp.WithProvenance()
 	if err != nil {
 		return nil, err

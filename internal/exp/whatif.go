@@ -27,7 +27,10 @@ type E16Result struct {
 // grows with the number of variants.
 func E16WhatIfOptimization(n int, seed int64) (*E16Result, error) {
 	s := nde.LoadRecommendationLetters(n, seed)
-	hp := nde.BuildHiringPipeline(s.Train, s.Data.Jobs, s.Data.Social)
+	hp, err := nde.BuildHiringPipeline(s.Train, s.Data.Jobs, s.Data.Social)
+	if err != nil {
+		return nil, err
+	}
 	ft, err := hp.WithProvenance()
 	if err != nil {
 		return nil, err

@@ -6,13 +6,16 @@ import (
 	"io"
 	"strconv"
 	"strings"
+
+	"nde/internal/nderr"
 )
 
 // ReadCSV parses CSV data with a header row into a frame. Column kinds are
 // inferred from the data: a column is int if every non-empty cell parses as
 // an integer, else float if every non-empty cell parses as a number, else
 // bool if every non-empty cell is true/false, else string. Empty cells
-// become nulls.
+// become nulls. Blank header names are rejected: a nameless column cannot
+// be addressed and would not survive a WriteCSV round trip.
 func ReadCSV(r io.Reader) (*Frame, error) {
 	cr := csv.NewReader(r)
 	cr.TrimLeadingSpace = true
@@ -24,6 +27,11 @@ func ReadCSV(r io.Reader) (*Frame, error) {
 		return nil, fmt.Errorf("frame: csv has no header row")
 	}
 	header := records[0]
+	for ci, name := range header {
+		if strings.TrimSpace(name) == "" {
+			return nil, fmt.Errorf("frame: csv header column %d is blank: %w", ci, nderr.ErrDegenerateInput)
+		}
+	}
 	rows := records[1:]
 	cols := make([]*Series, len(header))
 	for ci, name := range header {

@@ -1,0 +1,42 @@
+package frame
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadCSV drives the CSV reader with arbitrary input. ReadCSV may
+// reject data with an error but must never panic, and any frame it does
+// accept must be internally consistent and serializable.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("a,b\n1,2\n3,4\n")
+	f.Add("person_id,employer_rating,sentiment\n1,NaN,positive\n2,,negative\n")
+	f.Add("x,y\n1.5,true\n-2e308,false\n")
+	f.Add("x\n\"unterminated quote\n")
+	f.Add("a,a\n1,2\n")
+	f.Add("")
+	f.Add("\n\n\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		fr, err := ReadCSVString(data)
+		if err != nil {
+			return
+		}
+		n := fr.NumRows()
+		for _, name := range fr.ColumnNames() {
+			c, cerr := fr.Column(name)
+			if cerr != nil {
+				t.Fatalf("column %q listed but not retrievable: %v", name, cerr)
+			}
+			if c.Len() != n {
+				t.Fatalf("column %q has %d rows, frame has %d", name, c.Len(), n)
+			}
+		}
+		var buf bytes.Buffer
+		if err := fr.WriteCSV(&buf); err != nil {
+			t.Fatalf("WriteCSV of a frame ReadCSV accepted: %v", err)
+		}
+		if _, err := ReadCSV(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("re-reading WriteCSV output: %v\noutput:\n%s", err, buf.String())
+		}
+	})
+}

@@ -2,7 +2,10 @@ package linalg
 
 import (
 	"fmt"
+	"math"
 	"strings"
+
+	"nde/internal/nderr"
 )
 
 // Matrix is a dense row-major matrix.
@@ -134,6 +137,29 @@ func (m *Matrix) Gram() *Matrix {
 		}
 	}
 	return g
+}
+
+// FindNonFinite returns the position of the first NaN or ±Inf entry in
+// row-major order, or ok=false when every entry is finite.
+func (m *Matrix) FindNonFinite() (r, c int, ok bool) {
+	for i, v := range m.Data {
+		// v != v catches NaN; the range check catches ±Inf without a
+		// math.IsInf call per element.
+		if v != v || v > math.MaxFloat64 || v < -math.MaxFloat64 {
+			return i / m.Cols, i % m.Cols, true
+		}
+	}
+	return 0, 0, false
+}
+
+// CheckFinite returns a wrapped nderr.ErrNonFinite naming the first NaN or
+// ±Inf entry, or nil when the matrix is entirely finite. what names the
+// matrix in the error ("train features", ...).
+func (m *Matrix) CheckFinite(what string) error {
+	if r, c, bad := m.FindNonFinite(); bad {
+		return nderr.NonFinite("linalg: "+what, r, c, m.At(r, c))
+	}
+	return nil
 }
 
 // String renders the matrix for debugging.

@@ -10,7 +10,10 @@ import (
 var ErrSingular = errors.New("linalg: matrix is singular or not positive definite")
 
 // Cholesky computes the lower-triangular factor L with A = L Lᵀ for a
-// symmetric positive-definite A. It returns ErrSingular when A is not SPD.
+// symmetric positive-definite A. It returns an error wrapping ErrSingular
+// when A is not SPD; the error names the failing pivot and whether the
+// cause was a NaN (i.e. non-finite input, typically dirty data upstream)
+// rather than indefiniteness, so data errors stay diagnosable.
 func Cholesky(a *Matrix) (*Matrix, error) {
 	if a.Rows != a.Cols {
 		return nil, fmt.Errorf("linalg: Cholesky on %dx%d matrix", a.Rows, a.Cols)
@@ -22,8 +25,11 @@ func Cholesky(a *Matrix) (*Matrix, error) {
 		for k := 0; k < j; k++ {
 			d -= l.At(j, k) * l.At(j, k)
 		}
-		if d <= 0 || math.IsNaN(d) {
-			return nil, ErrSingular
+		if math.IsNaN(d) {
+			return nil, fmt.Errorf("linalg: Cholesky pivot %d of %d is NaN — the input matrix carries NaN (dirty features?): %w", j, n, ErrSingular)
+		}
+		if d <= 0 {
+			return nil, fmt.Errorf("linalg: Cholesky pivot %d of %d is %g ≤ 0 — leading minor not positive definite: %w", j, n, d, ErrSingular)
 		}
 		l.Set(j, j, math.Sqrt(d))
 		for i := j + 1; i < n; i++ {
@@ -90,8 +96,11 @@ func Solve(a *Matrix, b []float64) ([]float64, error) {
 				piv, best = r, v
 			}
 		}
+		if math.IsNaN(best) {
+			return nil, fmt.Errorf("linalg: Solve pivot column %d is NaN — the input matrix carries NaN (dirty features?): %w", col, ErrSingular)
+		}
 		if best < 1e-12 {
-			return nil, ErrSingular
+			return nil, fmt.Errorf("linalg: Solve pivot column %d has max |entry| %g: %w", col, best, ErrSingular)
 		}
 		if piv != col {
 			for c := 0; c < n; c++ {

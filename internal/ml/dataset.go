@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"nde/internal/linalg"
+	"nde/internal/nderr"
 )
 
 // Dataset pairs a dense feature matrix with integer class labels and an
@@ -20,12 +21,62 @@ type Dataset struct {
 	Groups []string // optional; empty or len == rows
 }
 
-// NewDataset validates shapes and builds a dataset.
+// NewDataset validates shapes and feature finiteness and builds a dataset.
+// NaN or ±Inf features are rejected with an error wrapping
+// nderr.ErrNonFinite: every distance, dot product, and ranking downstream
+// silently corrupts on non-finite values, so they stop at this boundary.
 func NewDataset(x *linalg.Matrix, y []int) (*Dataset, error) {
+	if x == nil {
+		return nil, nderr.Empty("ml: nil feature matrix")
+	}
 	if x.Rows != len(y) {
-		return nil, fmt.Errorf("ml: %d feature rows vs %d labels", x.Rows, len(y))
+		return nil, fmt.Errorf("ml: %d feature rows vs %d labels: %w", x.Rows, len(y), nderr.ErrShapeMismatch)
+	}
+	for i, v := range y {
+		if v < 0 {
+			return nil, fmt.Errorf("ml: negative label %d at row %d: %w", v, i, nderr.ErrDegenerateInput)
+		}
+	}
+	if err := x.CheckFinite("features"); err != nil {
+		return nil, fmt.Errorf("ml: %w", err)
 	}
 	return &Dataset{X: x, Y: y}, nil
+}
+
+// CheckFinite re-validates the feature matrix of a dataset that may have
+// been mutated (or literal-constructed) after NewDataset.
+func (d *Dataset) CheckFinite() error {
+	if d == nil || d.X == nil {
+		return nderr.Empty("ml: nil dataset")
+	}
+	return d.X.CheckFinite("features")
+}
+
+// CheckTrainable reports whether d can serve as a training set for the
+// importance and learning methods: non-nil, non-empty, finite features, and
+// at least two label classes. Violations return wrapped nderr sentinels.
+func (d *Dataset) CheckTrainable(what string) error {
+	if d == nil || d.X == nil {
+		return nderr.Empty("ml: " + what + " is nil")
+	}
+	if d.Len() == 0 {
+		return nderr.Empty("ml: " + what + " has no rows")
+	}
+	if err := d.X.CheckFinite(what + " features"); err != nil {
+		return fmt.Errorf("ml: %w", err)
+	}
+	first := d.Y[0]
+	single := true
+	for _, y := range d.Y[1:] {
+		if y != first {
+			single = false
+			break
+		}
+	}
+	if single {
+		return nderr.SingleClass("ml: "+what, d.Len())
+	}
+	return nil
 }
 
 // WithGroups attaches a protected-group attribute; its length must match.

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"nde/internal/linalg"
+	"nde/internal/nderr"
 	"nde/internal/par"
 )
 
@@ -49,13 +50,27 @@ type NeighborIndex struct {
 }
 
 // NewNeighborIndex builds an index over the given train and query sets.
-// Nothing is computed until the first use.
+// Distances are not computed until the first use, but both feature
+// matrices are validated here: a single NaN feature would make the
+// (distance, index) comparator a non-strict weak order, so quickselect and
+// argsort would return silently wrong neighbors. Rejecting NaN/Inf at
+// build time (wrapping nderr.ErrNonFinite) turns that silent corruption
+// into a diagnosable error.
 func NewNeighborIndex(train, queries *Dataset, workers int) (*NeighborIndex, error) {
+	if train == nil || queries == nil {
+		return nil, nderr.Empty("ml: NeighborIndex needs non-nil train and query sets")
+	}
 	if train.Len() == 0 {
-		return nil, fmt.Errorf("ml: NeighborIndex needs a non-empty training set")
+		return nil, nderr.Empty("ml: NeighborIndex training set")
 	}
 	if train.Dim() != queries.Dim() {
-		return nil, fmt.Errorf("ml: NeighborIndex dims %d vs %d", train.Dim(), queries.Dim())
+		return nil, nderr.Mismatch("ml: NeighborIndex dims", train.Dim(), queries.Dim())
+	}
+	if err := train.X.CheckFinite("NeighborIndex train features"); err != nil {
+		return nil, fmt.Errorf("ml: %w", err)
+	}
+	if err := queries.X.CheckFinite("NeighborIndex query features"); err != nil {
+		return nil, fmt.Errorf("ml: %w", err)
 	}
 	return &NeighborIndex{Train: train, Queries: queries, Workers: workers}, nil
 }
@@ -178,6 +193,11 @@ type distIdx struct {
 	d float64
 	i int
 }
+
+// less orders by (distance, index). This is a strict weak order only for
+// finite distances — with NaN, both a<b and b<a are false while a and b
+// are not equivalent, so quickselect partitions incoherently — which is
+// why NewNeighborIndex rejects non-finite features at build time.
 
 func (a distIdx) less(b distIdx) bool {
 	if a.d != b.d {

@@ -1,12 +1,15 @@
 package ml
 
 import (
+	"errors"
+	"math"
 	"math/rand"
 	"sort"
 	"testing"
 	"testing/quick"
 
 	"nde/internal/linalg"
+	"nde/internal/nderr"
 )
 
 func randomNeighborDataset(r *rand.Rand, n, dim, classes int) *Dataset {
@@ -185,5 +188,82 @@ func TestQuickSelectKProperty(t *testing.T) {
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
 		t.Error(err)
+	}
+}
+
+// Regression: a NaN feature makes the (distance, index) comparator a
+// non-strict weak order, so quickselect used to return silently wrong
+// top-k neighbors. The index build must reject poisoned features with a
+// wrapped nderr.ErrNonFinite instead.
+func TestNeighborIndexRejectsPoisonedFeatures(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	train := randomNeighborDataset(r, 30, 3, 2)
+	queries := randomNeighborDataset(r, 5, 3, 2)
+
+	poisoned := train.Clone()
+	poisoned.X.Set(12, 1, math.NaN())
+	if _, err := NewNeighborIndex(poisoned, queries, 1); err == nil {
+		t.Fatal("expected error for NaN train feature")
+	} else if !errors.Is(err, nderr.ErrNonFinite) {
+		t.Fatalf("error %v does not wrap nderr.ErrNonFinite", err)
+	} else if !errors.Is(err, nderr.ErrDegenerateInput) {
+		t.Fatalf("error %v does not wrap nderr.ErrDegenerateInput", err)
+	}
+
+	infQueries := queries.Clone()
+	infQueries.X.Set(2, 0, math.Inf(-1))
+	if _, err := NewNeighborIndex(train, infQueries, 1); err == nil {
+		t.Fatal("expected error for Inf query feature")
+	} else if !errors.Is(err, nderr.ErrNonFinite) {
+		t.Fatalf("error %v does not wrap nderr.ErrNonFinite", err)
+	}
+
+	// the clean pair still builds and answers
+	ix, err := NewNeighborIndex(train, queries, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(ix.TopK(0, 5)); got != 5 {
+		t.Fatalf("TopK returned %d neighbors, want 5", got)
+	}
+}
+
+// NewDataset is the other boundary: literal NaN/Inf features must be
+// rejected at construction with the same error family.
+func TestNewDatasetRejectsNonFinite(t *testing.T) {
+	x := linalg.NewMatrix(4, 2)
+	x.Set(3, 1, math.NaN())
+	if _, err := NewDataset(x, []int{0, 1, 0, 1}); !errors.Is(err, nderr.ErrNonFinite) {
+		t.Fatalf("NewDataset with NaN: err = %v, want ErrNonFinite", err)
+	}
+	x2 := linalg.NewMatrix(2, 1)
+	x2.Set(0, 0, math.Inf(1))
+	if _, err := NewDataset(x2, []int{0, 1}); !errors.Is(err, nderr.ErrNonFinite) {
+		t.Fatalf("NewDataset with +Inf: err = %v, want ErrNonFinite", err)
+	}
+	if _, err := NewDataset(linalg.NewMatrix(2, 1), []int{0}); !errors.Is(err, nderr.ErrShapeMismatch) {
+		t.Fatalf("NewDataset with mismatched labels: err = %v, want ErrShapeMismatch", err)
+	}
+}
+
+// CheckTrainable classifies the degenerate training sets the importance
+// methods must refuse.
+func TestCheckTrainable(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	good := randomNeighborDataset(r, 10, 2, 2)
+	if err := good.CheckTrainable("train"); err != nil {
+		t.Fatalf("clean dataset flagged: %v", err)
+	}
+	single := randomNeighborDataset(r, 10, 2, 1)
+	if err := single.CheckTrainable("train"); !errors.Is(err, nderr.ErrSingleClass) {
+		t.Fatalf("single-class: err = %v, want ErrSingleClass", err)
+	}
+	var nilDS *Dataset
+	if err := nilDS.CheckTrainable("train"); !errors.Is(err, nderr.ErrEmptyInput) {
+		t.Fatalf("nil: err = %v, want ErrEmptyInput", err)
+	}
+	empty := &Dataset{X: linalg.NewMatrix(0, 2)}
+	if err := empty.CheckTrainable("train"); !errors.Is(err, nderr.ErrEmptyInput) {
+		t.Fatalf("empty: err = %v, want ErrEmptyInput", err)
 	}
 }

@@ -1,0 +1,66 @@
+// Package nderr defines the degenerate-input error family shared by every
+// layer of nde. The library's contract is that dirty data — the very thing
+// it exists to debug — never panics: boundary code (dataset construction,
+// kernel index builds, the public facade) classifies bad input with one of
+// these sentinels and returns it wrapped with position context, so callers
+// can both match the class with errors.Is and read where the problem sits.
+//
+// Every sub-sentinel wraps ErrDegenerateInput, so
+//
+//	errors.Is(err, nderr.ErrDegenerateInput)
+//
+// is true for the whole family, while errors.Is against the specific
+// sentinel (say ErrNonFinite) narrows to one corruption class. Panics
+// remain only in Must* helpers and in internal kernels whose preconditions
+// are validated upstream — programmer bugs, not data errors.
+package nderr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrDegenerateInput is the root of the family: some input was structurally
+// unusable (NaN/Inf features, empty sets, shape mismatches, single-class
+// labels, impossible neighborhood sizes).
+var ErrDegenerateInput = errors.New("degenerate input")
+
+var (
+	// ErrNonFinite marks NaN or ±Inf feature values.
+	ErrNonFinite = fmt.Errorf("%w: non-finite feature value (NaN or Inf)", ErrDegenerateInput)
+	// ErrEmptyInput marks empty frames, datasets, or validation sets.
+	ErrEmptyInput = fmt.Errorf("%w: empty input", ErrDegenerateInput)
+	// ErrShapeMismatch marks length or dimension disagreements between
+	// inputs that must align row for row.
+	ErrShapeMismatch = fmt.Errorf("%w: shape mismatch", ErrDegenerateInput)
+	// ErrSingleClass marks label sets with fewer than two classes, on which
+	// importance and learning methods are meaningless.
+	ErrSingleClass = fmt.Errorf("%w: single-class labels", ErrDegenerateInput)
+	// ErrBadK marks neighborhood sizes outside [1, n].
+	ErrBadK = fmt.Errorf("%w: invalid neighborhood size", ErrDegenerateInput)
+)
+
+// NonFinite returns an ErrNonFinite wrapped with the offending position.
+func NonFinite(what string, row, col int, v float64) error {
+	return fmt.Errorf("%s: value %v at row %d, col %d: %w", what, v, row, col, ErrNonFinite)
+}
+
+// Empty returns an ErrEmptyInput naming the empty input.
+func Empty(what string) error {
+	return fmt.Errorf("%s: %w", what, ErrEmptyInput)
+}
+
+// Mismatch returns an ErrShapeMismatch naming the two disagreeing sizes.
+func Mismatch(what string, a, b int) error {
+	return fmt.Errorf("%s: %d vs %d: %w", what, a, b, ErrShapeMismatch)
+}
+
+// SingleClass returns an ErrSingleClass naming the offending label set.
+func SingleClass(what string, n int) error {
+	return fmt.Errorf("%s: %d rows all share one label: %w", what, n, ErrSingleClass)
+}
+
+// BadK returns an ErrBadK for a neighborhood size k over n candidates.
+func BadK(what string, k, n int) error {
+	return fmt.Errorf("%s: k=%d over %d rows: %w", what, k, n, ErrBadK)
+}

@@ -1,0 +1,62 @@
+// Package testutil builds deliberately corrupted inputs for the
+// fault-injection suite: NaN-poisoned feature columns, single-class label
+// sets, empty tables, and shape-mismatched datasets. Every helper returns a
+// fresh value and never mutates its argument, so a clean baseline and its
+// corrupted twin can be compared side by side.
+package testutil
+
+import (
+	"math"
+
+	"nde/internal/frame"
+	"nde/internal/ml"
+)
+
+// PoisonColumn returns a copy of f with every value of the named float
+// column replaced by v (typically math.NaN() or math.Inf(1)).
+func PoisonColumn(f *frame.Frame, col string, v float64) (*frame.Frame, error) {
+	vals := make([]float64, f.NumRows())
+	for i := range vals {
+		vals[i] = v
+	}
+	return f.WithColumn(frame.NewFloatSeries(col, vals, nil))
+}
+
+// SingleClass returns a copy of f with every value of the named string
+// column set to label, collapsing the label set to one class.
+func SingleClass(f *frame.Frame, col, label string) (*frame.Frame, error) {
+	vals := make([]string, f.NumRows())
+	for i := range vals {
+		vals[i] = label
+	}
+	return f.WithColumn(frame.NewStringSeries(col, vals, nil))
+}
+
+// EmptyLike returns a zero-row frame with the same columns as f.
+func EmptyLike(f *frame.Frame) *frame.Frame { return f.Take(nil) }
+
+// PoisonDataset returns a deep copy of d with cell (row, col) of the
+// feature matrix set to v. It bypasses ml.NewDataset validation on purpose:
+// the point is to smuggle a non-finite value past construction and check
+// that downstream entry points still catch it.
+func PoisonDataset(d *ml.Dataset, row, col int, v float64) *ml.Dataset {
+	out := d.Clone()
+	out.X.Set(row, col, v)
+	return out
+}
+
+// SingleClassDataset returns a deep copy of d with every label set to the
+// first label, again bypassing construction-time validation.
+func SingleClassDataset(d *ml.Dataset) *ml.Dataset {
+	out := d.Clone()
+	for i := range out.Y {
+		out.Y[i] = out.Y[0]
+	}
+	return out
+}
+
+// NaN is a shorthand so corruption tables read as data.
+func NaN() float64 { return math.NaN() }
+
+// Inf returns +Inf.
+func Inf() float64 { return math.Inf(1) }

@@ -9,6 +9,7 @@ import (
 	"nde/internal/frame"
 	"nde/internal/importance"
 	"nde/internal/ml"
+	"nde/internal/nderr"
 	"nde/internal/pipeline"
 	"nde/internal/uncertain"
 )
@@ -53,12 +54,34 @@ type HiringScenario struct {
 
 // LoadRecommendationLetters regenerates the tutorial's synthetic hiring
 // scenario and splits the letters 60/20/20 — the Go analogue of
-// nde.load_recommendation_letters().
+// nde.load_recommendation_letters(). n <= 0 falls back to the default 300.
 func LoadRecommendationLetters(n int, seed int64) *HiringScenario {
 	if n <= 0 {
 		n = 300
 	}
 	h := datagen.Hiring(datagen.Config{N: n, Seed: seed})
+	s, err := ScenarioFromData(h, seed)
+	if err != nil {
+		// The generator always emits a well-formed letters table of n rows;
+		// a split failure here is a programmer bug, not a data error.
+		panic(err)
+	}
+	return s
+}
+
+// ScenarioFromData splits an externally loaded scenario (for example one
+// read back from CSV files via datagen.LoadHiringCSV) into the standard
+// deterministic 60/20/20 letters split. Unlike LoadRecommendationLetters,
+// the tables come from the outside world, so degenerate ones (nil or empty
+// letters) are reported as errors.
+func ScenarioFromData(h *HiringData, seed int64) (*HiringScenario, error) {
+	if h == nil {
+		return nil, nderr.Empty("nde: scenario data is nil")
+	}
+	if err := checkFrame("letters", h.Letters); err != nil {
+		return nil, err
+	}
+	n := h.Letters.NumRows()
 	perm := rand.New(rand.NewSource(seed + 1)).Perm(n)
 	nTrain := n * 6 / 10
 	nValid := n * 2 / 10
@@ -67,7 +90,7 @@ func LoadRecommendationLetters(n int, seed int64) *HiringScenario {
 		Train: h.Letters.Take(perm[:nTrain]),
 		Valid: h.Letters.Take(perm[nTrain : nTrain+nValid]),
 		Test:  h.Letters.Take(perm[nTrain+nValid:]),
-	}
+	}, nil
 }
 
 // LetterFeaturizer returns the default encoder for letters frames: a
@@ -89,6 +112,9 @@ func LetterFeaturizer() *encode.ColumnTransformer {
 // the given frame; to featurize several splits consistently use
 // FeaturizeLetterSplits.
 func FeaturizeLetters(f *Frame) (*Dataset, error) {
+	if err := checkFrame("letters", f, "letter_text", "employer_rating", "sentiment"); err != nil {
+		return nil, err
+	}
 	ds, err := featurizeWith(LetterFeaturizer(), f, true)
 	return ds, err
 }
@@ -96,6 +122,14 @@ func FeaturizeLetters(f *Frame) (*Dataset, error) {
 // FeaturizeLetterSplits fits the default featurizer on train and applies it
 // to all three splits, the leakage-free protocol.
 func FeaturizeLetterSplits(train, valid, test *Frame) (dTrain, dValid, dTest *Dataset, err error) {
+	for _, s := range []struct {
+		what string
+		f    *Frame
+	}{{"train", train}, {"valid", valid}, {"test", test}} {
+		if err := checkFrame(s.what+" letters", s.f, "letter_text", "employer_rating", "sentiment"); err != nil {
+			return nil, nil, nil, err
+		}
+	}
 	ct := LetterFeaturizer()
 	if dTrain, err = featurizeWith(ct, train, true); err != nil {
 		return nil, nil, nil, err
@@ -145,6 +179,12 @@ func DefaultModel() Classifier { return ml.NewKNN(5) }
 // train), trains the default model, and returns test accuracy — the Go
 // analogue of nde.evaluate_model(train_df).
 func EvaluateModel(train, test *Frame) (float64, error) {
+	if err := checkFrame("train letters", train, "letter_text", "employer_rating", "sentiment"); err != nil {
+		return 0, err
+	}
+	if err := checkFrame("test letters", test, "letter_text", "employer_rating", "sentiment"); err != nil {
+		return 0, err
+	}
 	ct := LetterFeaturizer()
 	dTrain, err := featurizeWith(ct, train, true)
 	if err != nil {
@@ -161,14 +201,24 @@ func EvaluateModel(train, test *Frame) (float64, error) {
 // letters and reports which rows were corrupted — the Go analogue of
 // nde.inject_labelerrors(train_df, fraction=0.1).
 func InjectLabelErrors(f *Frame, fraction float64, seed int64) (*Frame, map[int]bool, error) {
+	if err := checkFrame("letters", f, "sentiment"); err != nil {
+		return nil, nil, err
+	}
 	return datagen.InjectLabelErrors(f, "sentiment", fraction, seed)
 }
 
 // KNNShapleyValues featurizes the letters splits and computes exact
 // kNN-Shapley importance of every training letter against the validation
 // split — the Go analogue of nde.knn_shapley_values(train_df_err,
-// validation=valid_df).
+// validation=valid_df). k <= 0 falls back to the default 5; k larger than
+// the training-set size is rejected with ErrBadK.
 func KNNShapleyValues(train, valid *Frame, k int) (Scores, error) {
+	if err := checkFrame("train letters", train, "letter_text", "employer_rating", "sentiment"); err != nil {
+		return nil, err
+	}
+	if err := checkFrame("valid letters", valid, "letter_text", "employer_rating", "sentiment"); err != nil {
+		return nil, err
+	}
 	ct := LetterFeaturizer()
 	dTrain, err := featurizeWith(ct, train, true)
 	if err != nil {
@@ -181,21 +231,40 @@ func KNNShapleyValues(train, valid *Frame, k int) (Scores, error) {
 	if k <= 0 {
 		k = 5
 	}
+	if err := checkK("kNN-Shapley", k, dTrain.Len()); err != nil {
+		return nil, err
+	}
+	if err := checkTrainable("train letters", dTrain); err != nil {
+		return nil, err
+	}
 	return importance.KNNShapley(k, dTrain, dValid)
 }
 
 // PrettyPrint renders the given rows of a frame as an aligned table — the
-// Go analogue of nde.pretty_print(train_df_err[lowest]).
-func PrettyPrint(f *Frame, rows []int) string {
-	return f.Take(rows).Render(0)
+// Go analogue of nde.pretty_print(train_df_err[lowest]). Out-of-range row
+// indices are reported as an error rather than panicking.
+func PrettyPrint(f *Frame, rows []int) (string, error) {
+	if f == nil {
+		return "", nderr.Empty("nde: frame is nil")
+	}
+	if err := checkRows("PrettyPrint", rows, f.NumRows()); err != nil {
+		return "", err
+	}
+	return f.Take(rows).Render(0), nil
 }
 
 // PrettyPrintWithScores renders the given rows with an extra "importance"
 // column — the exact display of the tutorial's Figure 2, where the
 // suspicious letters appear next to their importance values.
 func PrettyPrintWithScores(f *Frame, rows []int, scores Scores) (string, error) {
+	if f == nil {
+		return "", nderr.Empty("nde: frame is nil")
+	}
 	if len(scores) != f.NumRows() {
-		return "", fmt.Errorf("nde: %d scores for %d rows", len(scores), f.NumRows())
+		return "", fmt.Errorf("nde: %d scores for %d rows: %w", len(scores), f.NumRows(), nderr.ErrShapeMismatch)
+	}
+	if err := checkRows("PrettyPrintWithScores", rows, f.NumRows()); err != nil {
+		return "", err
 	}
 	sub := f.Take(rows)
 	vals := make([]float64, len(rows))

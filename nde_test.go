@@ -89,7 +89,10 @@ func TestFigure2Walkthrough(t *testing.T) {
 
 func TestPrettyPrint(t *testing.T) {
 	s := LoadRecommendationLetters(50, 5)
-	out := PrettyPrint(s.Train, []int{0, 1, 2})
+	out, err := PrettyPrint(s.Train, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !strings.Contains(out, "letter_text") || !strings.Contains(out, "[3 rows") {
 		t.Errorf("pretty print:\n%s", out)
 	}
@@ -117,7 +120,10 @@ func TestFigure3Walkthrough(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	hp := BuildHiringPipeline(dirty, s.Data.Jobs, s.Data.Social)
+	hp, err := BuildHiringPipeline(dirty, s.Data.Jobs, s.Data.Social)
+	if err != nil {
+		t.Fatal(err)
+	}
 	plan := hp.ShowQueryPlan()
 	for _, want := range []string{"Join", "Filter", "MapCol(has_twitter)", "Project", "Source(train"} {
 		if !strings.Contains(plan, want) {
@@ -270,7 +276,10 @@ func TestPrettyPrintWithScores(t *testing.T) {
 
 func TestGroupShapleyScoresFacade(t *testing.T) {
 	s := LoadRecommendationLetters(200, 51)
-	hp := BuildHiringPipeline(s.Train, s.Data.Jobs, s.Data.Social)
+	hp, err := BuildHiringPipeline(s.Train, s.Data.Jobs, s.Data.Social)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ft, err := hp.WithProvenance()
 	if err != nil {
 		t.Fatal(err)

@@ -1,10 +1,13 @@
 package nde
 
 import (
+	"fmt"
+
 	"nde/internal/encode"
 	"nde/internal/frame"
 	"nde/internal/importance"
 	"nde/internal/ml"
+	"nde/internal/nderr"
 	"nde/internal/pipeline"
 )
 
@@ -24,8 +27,20 @@ type HiringPipeline struct {
 
 // BuildHiringPipeline constructs the pipeline over a letters frame and the
 // scenario side tables — the Go analogue of the def pipeline(train_df,
-// jobdetail_df, social_df) snippet of Figure 3.
-func BuildHiringPipeline(letters *Frame, jobs, social *Frame) *HiringPipeline {
+// jobdetail_df, social_df) snippet of Figure 3. The three frames are
+// validated up front (non-nil, non-empty, join and projection columns
+// present), so malformed inputs fail here with a wrapped error instead of
+// somewhere inside the join operators.
+func BuildHiringPipeline(letters *Frame, jobs, social *Frame) (*HiringPipeline, error) {
+	if err := checkFrame("letters", letters, "job_id", "person_id", "letter_text", "employer_rating", "sentiment"); err != nil {
+		return nil, err
+	}
+	if err := checkFrame("jobs", jobs, "job_id", "sector"); err != nil {
+		return nil, err
+	}
+	if err := checkFrame("social", social, "person_id", "twitter"); err != nil {
+		return nil, err
+	}
 	p := pipeline.New()
 	tr := p.Source("train", letters)
 	jo := p.Source("jobs", jobs)
@@ -39,7 +54,7 @@ func BuildHiringPipeline(letters *Frame, jobs, social *Frame) *HiringPipeline {
 		return frame.Bool(!r.IsNull("twitter")), nil
 	})
 	out := p.Project(withTwitter, "person_id", "letter_text", "employer_rating", "has_twitter", "sentiment")
-	return &HiringPipeline{Pipeline: p, Output: out, TrainRows: letters.NumRows()}
+	return &HiringPipeline{Pipeline: p, Output: out, TrainRows: letters.NumRows()}, nil
 }
 
 // ShowQueryPlan renders the pipeline's operator tree — the Go analogue of
@@ -84,6 +99,12 @@ func (h *HiringPipeline) WithProvenance() (*Featurized, error) {
 // valid must live in the same feature space as ft.Data; use
 // FeaturizeValidationLike to build it.
 func (h *HiringPipeline) DatascopeScores(ft *Featurized, valid *Dataset, k int) (Scores, error) {
+	if ft == nil || ft.Data == nil {
+		return nil, nderr.Empty("nde: featurized pipeline output is nil")
+	}
+	if err := checkPair("pipeline output", ft.Data, "valid", valid); err != nil {
+		return nil, err
+	}
 	return importance.Datascope(ft, valid, "train", h.TrainRows, importance.DatascopeConfig{K: k})
 }
 
@@ -92,6 +113,12 @@ func (h *HiringPipeline) DatascopeScores(ft *Featurized, valid *Dataset, k int) 
 // beyond 20 groups) — the exact counterpart of DatascopeScores' additive
 // aggregation.
 func (h *HiringPipeline) GroupShapleyScores(ft *Featurized, valid *Dataset, k int) (Scores, error) {
+	if ft == nil || ft.Data == nil {
+		return nil, nderr.Empty("nde: featurized pipeline output is nil")
+	}
+	if err := checkPair("pipeline output", ft.Data, "valid", valid); err != nil {
+		return nil, err
+	}
 	return importance.GroupShapley(ft, valid, "train", h.TrainRows, k, 50, 1)
 }
 
@@ -100,6 +127,18 @@ func (h *HiringPipeline) GroupShapleyScores(ft *Featurized, valid *Dataset, k in
 // filter so all rows survive) and encodes it with the same fitted encoders
 // used for ft. The resulting dataset is comparable with ft.Data.
 func (h *HiringPipeline) FeaturizeValidationLike(valid *Frame, jobs, social *Frame, ct *encode.ColumnTransformer) (*Dataset, error) {
+	if err := checkFrame("valid letters", valid, "job_id", "person_id", "letter_text", "employer_rating", "sentiment"); err != nil {
+		return nil, err
+	}
+	if err := checkFrame("jobs", jobs, "job_id"); err != nil {
+		return nil, err
+	}
+	if err := checkFrame("social", social, "person_id", "twitter"); err != nil {
+		return nil, err
+	}
+	if ct == nil {
+		return nil, nderr.Empty("nde: column transformer is nil (run WithProvenance first)")
+	}
 	p := pipeline.New()
 	tr := p.Source("valid", valid)
 	jo := p.Source("jobs", jobs)
@@ -124,6 +163,9 @@ func (h *HiringPipeline) FeaturizeValidationLike(valid *Frame, jobs, social *Fra
 	}
 	y := make([]int, labels.Len())
 	for i := range y {
+		if labels.IsNull(i) {
+			return nil, fmt.Errorf("nde: null sentiment at validation row %d: %w", i, nderr.ErrDegenerateInput)
+		}
 		if labels.Str(i) == "positive" {
 			y[i] = 1
 		}
@@ -136,6 +178,15 @@ func (h *HiringPipeline) FeaturizeValidationLike(valid *Frame, jobs, social *Fra
 // training on all rows (negative = removal hurt) — the Go analogue of the
 // nde.evaluate_change(X_train, X_train_clean) snippet.
 func RemoveAndEvaluate(ft *Featurized, remove []int, valid *Dataset) (before, after float64, err error) {
+	if ft == nil || ft.Data == nil {
+		return 0, 0, nderr.Empty("nde: featurized pipeline output is nil")
+	}
+	if err := checkPair("pipeline output", ft.Data, "valid", valid); err != nil {
+		return 0, 0, err
+	}
+	if err := checkRows("RemoveAndEvaluate", remove, ft.Data.Len()); err != nil {
+		return 0, 0, err
+	}
 	before, err = ml.EvaluateAccuracy(DefaultModel(), ft.Data, valid)
 	if err != nil {
 		return 0, 0, err

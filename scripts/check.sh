@@ -21,6 +21,14 @@ go build ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+echo "==> scripts/panic_audit.sh"
+sh scripts/panic_audit.sh
+
+# short deterministic fuzz pass over the CSV reader: replays the checked-in
+# corpus, then a couple of seconds of fresh mutation
+echo "==> go test -fuzz FuzzReadCSV (2s)"
+go test -run='^FuzzReadCSV$' -fuzz='^FuzzReadCSV$' -fuzztime=2s ./internal/frame/
+
 # opt-in: record the tracked hot-path benchmarks (BENCH_importance.json)
 if [ "${NDE_BENCH:-0}" = "1" ]; then
     echo "==> scripts/bench.sh"

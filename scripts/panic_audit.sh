@@ -1,0 +1,53 @@
+#!/bin/sh
+# panic_audit.sh — the error-handling contract, enforced. Lists every
+# panic( call site that sits inside an exported function (not named Must*)
+# in non-test code, and fails if a site is missing from the checked-in
+# allowlist (scripts/panic_allowlist.txt).
+#
+# The allowlist is the set of deliberate panics: Must* helpers aside, the
+# repo keeps panics only for programmer bugs — internal kernels whose
+# preconditions are validated upstream (see README "Error handling
+# contract"). Adding a new panic to an exported function requires adding
+# it here, which makes the choice reviewable instead of accidental.
+#
+# Usage: scripts/panic_audit.sh [-update]
+#   -update  rewrite the allowlist from the current tree instead of diffing
+set -eu
+cd "$(dirname "$0")/.."
+
+allowlist=scripts/panic_allowlist.txt
+
+scan() {
+    find . -name '*.go' ! -name '*_test.go' -not -path './.git/*' | sort | while read -r f; do
+        awk -v file="${f#./}" '
+            /^func / {
+                fn = $0
+                sub(/^func +/, "", fn)
+                sub(/^\([^)]*\) +/, "", fn)  # drop method receiver
+                sub(/[ ([].*$/, "", fn)      # drop params / type params
+                name = fn
+            }
+            /panic\(/ {
+                if (name ~ /^[A-Z]/ && name !~ /^Must/) print file ":" name
+            }
+        ' "$f"
+    done | sort -u
+}
+
+if [ "${1:-}" = "-update" ]; then
+    scan > "$allowlist"
+    echo "panic_audit: rewrote $allowlist ($(wc -l < "$allowlist") entries)"
+    exit 0
+fi
+
+current=$(scan)
+new=$(printf '%s\n' "$current" | grep -Fxv -f "$allowlist" || true)
+if [ -n "$new" ]; then
+    echo "panic_audit: new panic sites in exported non-Must* functions:" >&2
+    printf '%s\n' "$new" >&2
+    echo "either return an error instead, or (for a genuine programmer-bug" >&2
+    echo "precondition) run scripts/panic_audit.sh -update and justify the" >&2
+    echo "entry in the PR" >&2
+    exit 1
+fi
+echo "panic_audit: OK ($(printf '%s\n' "$current" | grep -c . ) allowlisted sites)"

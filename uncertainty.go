@@ -1,7 +1,10 @@
 package nde
 
 import (
+	"fmt"
+
 	"nde/internal/ml"
+	"nde/internal/nderr"
 	"nde/internal/uncertain"
 )
 
@@ -22,6 +25,9 @@ const (
 // missing_percentage=..., missingness="MNAR"). It returns the symbolic
 // dataset and the affected row indices.
 func EncodeSymbolic(d *Dataset, feature int, percentage float64, mech MissingnessMechanism, seed int64) (*SymbolicDataset, []int, error) {
+	if err := checkDataset("train", d); err != nil {
+		return nil, nil, err
+	}
 	return uncertain.EncodeSymbolic(d, feature, percentage, mech, seed)
 }
 
@@ -30,8 +36,7 @@ func EncodeSymbolic(d *Dataset, feature int, percentage float64, mech Missingnes
 // possible models — the Go analogue of nde.estimate_with_zorro(
 // X_train_symb, test_df).
 func EstimateWithZorro(train *SymbolicDataset, test *Dataset, worlds int, seed int64) (float64, error) {
-	z := &uncertain.Zorro{Worlds: worlds, Seed: seed}
-	res, err := z.Analyze(train, test)
+	res, err := ZorroAnalysis(train, test, worlds, seed)
 	if err != nil {
 		return 0, err
 	}
@@ -41,6 +46,15 @@ func EstimateWithZorro(train *SymbolicDataset, test *Dataset, worlds int, seed i
 // ZorroAnalysis runs the full Zorro analysis, returning prediction ranges,
 // certainty flags and both the sampled and the sound worst-case estimates.
 func ZorroAnalysis(train *SymbolicDataset, test *Dataset, worlds int, seed int64) (*uncertain.ZorroResult, error) {
+	if train == nil {
+		return nil, nderr.Empty("nde: symbolic training set is nil")
+	}
+	if err := checkDataset("test", test); err != nil {
+		return nil, err
+	}
+	if worlds < 1 {
+		return nil, fmt.Errorf("nde: Zorro needs at least one sampled world, got %d: %w", worlds, nderr.ErrDegenerateInput)
+	}
 	z := &uncertain.Zorro{Worlds: worlds, Seed: seed}
 	return z.Analyze(train, test)
 }
@@ -49,6 +63,15 @@ func ZorroAnalysis(train *SymbolicDataset, test *Dataset, worlds int, seed int64
 // prediction is provably identical in every completion of the symbolic
 // training data (CPClean).
 func CertainPredictionFraction(train *SymbolicDataset, test *Dataset, k int) (float64, []bool, error) {
+	if train == nil {
+		return 0, nil, nderr.Empty("nde: symbolic training set is nil")
+	}
+	if err := checkDataset("test", test); err != nil {
+		return 0, nil, err
+	}
+	if err := checkK("certain prediction", k, train.Len()); err != nil {
+		return 0, nil, err
+	}
 	testX := make([][]float64, test.Len())
 	for i := range testX {
 		testX[i] = test.Row(i)
@@ -67,6 +90,12 @@ type MultiplicityResult = uncertain.MultiplicityResult
 // default model per world, and reports which test predictions are
 // consistent across all worlds.
 func PossibleWorlds(base *Dataset, uncertainties []DiscreteUncertainty, test *Dataset, maxWorlds int) (*MultiplicityResult, error) {
+	if err := checkDataset("base", base); err != nil {
+		return nil, err
+	}
+	if err := checkDataset("test", test); err != nil {
+		return nil, err
+	}
 	return uncertain.EnumerateWorlds(base, uncertainties, test,
 		func() ml.Classifier { return DefaultModel() }, maxWorlds)
 }

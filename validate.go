@@ -1,0 +1,81 @@
+package nde
+
+import (
+	"fmt"
+
+	"nde/internal/nderr"
+)
+
+// checkFrame rejects nil or zero-row frames and missing required columns,
+// so facade functions fail with a clear wrapped error instead of panicking
+// deep inside join or encode code.
+func checkFrame(what string, f *Frame, cols ...string) error {
+	if f == nil {
+		return nderr.Empty("nde: " + what + " frame is nil")
+	}
+	if f.NumRows() == 0 {
+		return nderr.Empty("nde: " + what + " frame has no rows")
+	}
+	for _, c := range cols {
+		if !f.HasColumn(c) {
+			return fmt.Errorf("nde: %s frame is missing column %q (have %v): %w",
+				what, c, f.ColumnNames(), nderr.ErrDegenerateInput)
+		}
+	}
+	return nil
+}
+
+// checkDataset rejects nil/empty datasets and non-finite features.
+func checkDataset(what string, d *Dataset) error {
+	if d == nil || d.X == nil {
+		return nderr.Empty("nde: " + what + " dataset is nil")
+	}
+	if d.Len() == 0 {
+		return nderr.Empty("nde: " + what + " dataset has no rows")
+	}
+	if err := d.X.CheckFinite(what + " features"); err != nil {
+		return fmt.Errorf("nde: %w", err)
+	}
+	return nil
+}
+
+// checkTrainable additionally requires at least two label classes: every
+// importance and learning method is meaningless on single-class data.
+func checkTrainable(what string, d *Dataset) error {
+	if err := d.CheckTrainable(what); err != nil {
+		return fmt.Errorf("nde: %w", err)
+	}
+	return nil
+}
+
+// checkPair requires two datasets to live in the same feature space.
+func checkPair(whatA string, a *Dataset, whatB string, b *Dataset) error {
+	if err := checkDataset(whatA, a); err != nil {
+		return err
+	}
+	if err := checkDataset(whatB, b); err != nil {
+		return err
+	}
+	if a.Dim() != b.Dim() {
+		return nderr.Mismatch("nde: "+whatA+" vs "+whatB+" feature dims", a.Dim(), b.Dim())
+	}
+	return nil
+}
+
+// checkK bounds a neighborhood size by the candidate-set size.
+func checkK(what string, k, n int) error {
+	if k < 1 || k > n {
+		return nderr.BadK("nde: "+what, k, n)
+	}
+	return nil
+}
+
+// checkRows validates row indices against a row count.
+func checkRows(what string, rows []int, n int) error {
+	for _, r := range rows {
+		if r < 0 || r >= n {
+			return fmt.Errorf("nde: %s row %d out of range [0,%d): %w", what, r, n, nderr.ErrDegenerateInput)
+		}
+	}
+	return nil
+}
