@@ -1,6 +1,6 @@
 # Standard entry points; see README.md § Testing.
 
-.PHONY: build test check bench bench-all
+.PHONY: build test check bench bench-all stress
 
 build:
 	go build ./...
@@ -13,7 +13,13 @@ test:
 check:
 	sh scripts/check.sh
 
-# tracked hot-path benchmarks -> BENCH_importance.json (perf trajectory)
+# race-stress gate: heavy concurrent-facade hammering under -race across a
+# GOMAXPROCS sweep (scripts/check.sh runs the quick variant)
+stress:
+	sh scripts/stress.sh
+
+# tracked benchmark series -> BENCH_importance.json + BENCH_whatif.json
+
 bench:
 	sh scripts/bench.sh
 

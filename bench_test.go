@@ -350,6 +350,48 @@ func BenchmarkMCShapleyParallel(b *testing.B) {
 	}
 }
 
+// What-if removal batches: the parallel fan-out vs. the serial path on the
+// same 8-variant batch. scripts/bench.sh records this series in
+// BENCH_whatif.json; workers=1 is the pre-parallelization baseline.
+func BenchmarkWhatIf(b *testing.B) {
+	s := nde.LoadRecommendationLetters(300, 11)
+	hp, err := nde.BuildHiringPipeline(s.Train, s.Data.Jobs, s.Data.Social)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ft, err := hp.WithProvenance()
+	if err != nil {
+		b.Fatal(err)
+	}
+	validLike, err := hp.FeaturizeValidationLike(s.Valid, s.Data.Jobs, s.Data.Social, hp.Encoder)
+	if err != nil {
+		b.Fatal(err)
+	}
+	variants := make([]nde.RemovalVariant, 8)
+	for v := range variants {
+		rows := make([]nde.TupleID, 6)
+		for r := range rows {
+			rows[r] = nde.TupleID{Table: "train", Row: (v*6 + r) % hp.TrainRows}
+		}
+		variants[v] = nde.RemovalVariant{Name: fmt.Sprintf("drop-%d", v), Remove: rows}
+	}
+	counts := []int{1, 0} // 0 = automatic (GOMAXPROCS-bounded)
+	for _, workers := range counts {
+		name := fmt.Sprintf("workers=%d", workers)
+		if workers == 0 {
+			name = "workers=auto"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := nde.WhatIfParallel(ft, variants, validLike, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // The batched prediction path vs. row-by-row prediction on the same kNN.
 func BenchmarkKNNPredictBatch(b *testing.B) {
 	train, valid := benchDataset(b, 300)

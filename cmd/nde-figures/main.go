@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	nde-figures [-n 300] [-seed 42] [-only E3]
+//	nde-figures [-n 300] [-seed 42] [-only E3] [-replicates 5]
 package main
 
 import (
@@ -31,6 +31,7 @@ func run(args []string, out io.Writer) error {
 	n := fs.Int("n", 300, "scenario size (number of recommendation letters)")
 	seed := fs.Int64("seed", 42, "random seed")
 	only := fs.String("only", "", "run a single experiment id (e.g. E3); empty = all")
+	replicates := fs.Int("replicates", 1, "run each experiment with this many consecutive seeds (concurrently when >1)")
 	metrics := fs.String("metrics", "", "dump metrics to this file on exit (Prometheus text; JSON when the path ends in .json)")
 	trace := fs.String("trace", "", "dump the span trace tree to this file on exit")
 	if err := fs.Parse(args); err != nil {
@@ -40,141 +41,141 @@ func run(args []string, out io.Writer) error {
 	if *metrics != "" || *trace != "" {
 		obs.Enable()
 	}
-	err := runExperiments(*n, *seed, *only, out)
+	err := runExperiments(*n, *seed, *replicates, *only, out)
 	if derr := obs.DumpFiles(*metrics, *trace); derr != nil && err == nil {
 		err = derr
 	}
 	return err
 }
 
-func runExperiments(nArg int, seedArg int64, only string, out io.Writer) error {
-	n, seed := &nArg, &seedArg
+func runExperiments(nArg int, seedArg int64, replicates int, only string, out io.Writer) error {
+	n := &nArg
 	type experiment struct {
 		id  string
-		run func() (*exp.Table, string, error)
+		run func(seed int64) (*exp.Table, string, error)
 	}
 	experiments := []experiment{
-		{"E1", func() (*exp.Table, string, error) {
-			r, err := exp.E1Figure2(*n, *seed)
+		{"E1", func(seed int64) (*exp.Table, string, error) {
+			r, err := exp.E1Figure2(*n, seed)
 			if err != nil {
 				return nil, "", err
 			}
 			return r.Table, "", nil
 		}},
-		{"E2", func() (*exp.Table, string, error) {
-			r, err := exp.E2Figure3(*n, *seed)
+		{"E2", func(seed int64) (*exp.Table, string, error) {
+			r, err := exp.E2Figure3(*n, seed)
 			if err != nil {
 				return nil, "", err
 			}
 			return r.Table, "pipeline query plan:\n" + r.Plan, nil
 		}},
-		{"E3", func() (*exp.Table, string, error) {
-			r, err := exp.E3Figure4(*n, *seed)
+		{"E3", func(seed int64) (*exp.Table, string, error) {
+			r, err := exp.E3Figure4(*n, seed)
 			if err != nil {
 				return nil, "", err
 			}
 			return r.Table, sparkline(r.Losses), nil
 		}},
-		{"E4", func() (*exp.Table, string, error) {
-			r, err := exp.E4Figure1(*n, *seed)
+		{"E4", func(seed int64) (*exp.Table, string, error) {
+			r, err := exp.E4Figure1(*n, seed)
 			if err != nil {
 				return nil, "", err
 			}
 			return r.Table, "", nil
 		}},
-		{"E5", func() (*exp.Table, string, error) {
-			r, err := exp.E5MethodComparison(*n, *seed)
+		{"E5", func(seed int64) (*exp.Table, string, error) {
+			r, err := exp.E5MethodComparison(*n, seed)
 			if err != nil {
 				return nil, "", err
 			}
 			return r.Table, "", nil
 		}},
-		{"E6", func() (*exp.Table, string, error) {
-			r, err := exp.E6Scalability(*seed)
+		{"E6", func(seed int64) (*exp.Table, string, error) {
+			r, err := exp.E6Scalability(seed)
 			if err != nil {
 				return nil, "", err
 			}
 			return r.Table, "", nil
 		}},
-		{"E7", func() (*exp.Table, string, error) {
-			r, err := exp.E7CleaningStrategies(*n, *seed)
+		{"E7", func(seed int64) (*exp.Table, string, error) {
+			r, err := exp.E7CleaningStrategies(*n, seed)
 			if err != nil {
 				return nil, "", err
 			}
 			return r.Table, "", nil
 		}},
-		{"E8", func() (*exp.Table, string, error) {
-			r, err := exp.E8CertainPredictions(*n, *seed)
+		{"E8", func(seed int64) (*exp.Table, string, error) {
+			r, err := exp.E8CertainPredictions(*n, seed)
 			if err != nil {
 				return nil, "", err
 			}
 			return r.Table, "", nil
 		}},
-		{"E9", func() (*exp.Table, string, error) {
-			r, err := exp.E9Challenge(*n, *seed)
+		{"E9", func(seed int64) (*exp.Table, string, error) {
+			r, err := exp.E9Challenge(*n, seed)
 			if err != nil {
 				return nil, "", err
 			}
 			return r.Table, "full leaderboard:\n" + r.Leaderboard.String(), nil
 		}},
-		{"E10", func() (*exp.Table, string, error) {
-			r, err := exp.E10PipelineScreening(*n, *seed)
+		{"E10", func(seed int64) (*exp.Table, string, error) {
+			r, err := exp.E10PipelineScreening(*n, seed)
 			if err != nil {
 				return nil, "", err
 			}
 			return r.Table, "", nil
 		}},
-		{"E11", func() (*exp.Table, string, error) {
-			r, err := exp.E11ZorroVsImputation(*n, *seed)
+		{"E11", func(seed int64) (*exp.Table, string, error) {
+			r, err := exp.E11ZorroVsImputation(*n, seed)
 			if err != nil {
 				return nil, "", err
 			}
 			return r.Table, "", nil
 		}},
-		{"E12", func() (*exp.Table, string, error) {
-			r, err := exp.E12GopherFairness(*n, *seed)
+		{"E12", func(seed int64) (*exp.Table, string, error) {
+			r, err := exp.E12GopherFairness(*n, seed)
 			if err != nil {
 				return nil, "", err
 			}
 			return r.Table, "", nil
 		}},
-		{"E13", func() (*exp.Table, string, error) {
-			r, err := exp.E13Unlearning(*n, *seed)
+		{"E13", func(seed int64) (*exp.Table, string, error) {
+			r, err := exp.E13Unlearning(*n, seed)
 			if err != nil {
 				return nil, "", err
 			}
 			return r.Table, "", nil
 		}},
-		{"E14", func() (*exp.Table, string, error) {
-			r, err := exp.E14Amortization(*n, *seed)
+		{"E14", func(seed int64) (*exp.Table, string, error) {
+			r, err := exp.E14Amortization(*n, seed)
 			if err != nil {
 				return nil, "", err
 			}
 			return r.Table, "", nil
 		}},
-		{"E15", func() (*exp.Table, string, error) {
-			r, err := exp.E15RAGImportance(*seed)
+		{"E15", func(seed int64) (*exp.Table, string, error) {
+			r, err := exp.E15RAGImportance(seed)
 			if err != nil {
 				return nil, "", err
 			}
 			return r.Table, "", nil
 		}},
-		{"E16", func() (*exp.Table, string, error) {
-			r, err := exp.E16WhatIfOptimization(*n, *seed)
+		{"E16", func(seed int64) (*exp.Table, string, error) {
+			r, err := exp.E16WhatIfOptimization(*n, seed)
 			if err != nil {
 				return nil, "", err
 			}
 			return r.Table, "", nil
 		}},
-		{"E17", func() (*exp.Table, string, error) {
-			r, err := exp.E17DatascopeAblation(*n, *seed)
+		{"E17", func(seed int64) (*exp.Table, string, error) {
+			r, err := exp.E17DatascopeAblation(*n, seed)
 			if err != nil {
 				return nil, "", err
 			}
 			return r.Table, "", nil
 		}},
-		{"E18", func() (*exp.Table, string, error) {
-			r, err := exp.E18DetectionBenchmark(*n, *seed)
+		{"E18", func(seed int64) (*exp.Table, string, error) {
+			r, err := exp.E18DetectionBenchmark(*n, seed)
 			if err != nil {
 				return nil, "", err
 			}
@@ -182,6 +183,9 @@ func runExperiments(nArg int, seedArg int64, only string, out io.Writer) error {
 		}},
 	}
 
+	if replicates < 1 {
+		return fmt.Errorf("replicates must be >= 1, got %d", replicates)
+	}
 	ran := 0
 	for _, e := range experiments {
 		if only != "" && !strings.EqualFold(only, e.id) {
@@ -189,17 +193,22 @@ func runExperiments(nArg int, seedArg int64, only string, out io.Writer) error {
 		}
 		sp := obs.StartSpan("figures.experiment")
 		sp.SetStr("id", e.id)
-		table, extra, err := e.run()
+		reps, err := exp.Replicates(e.id, exp.SeedSequence(seedArg, replicates), 0, e.run)
 		sp.End()
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.id, err)
 		}
 		obs.Inc("figures_experiments_total")
-		fmt.Fprintln(out, table)
-		if extra != "" {
-			fmt.Fprintln(out, extra)
+		for _, rep := range reps {
+			if replicates > 1 {
+				fmt.Fprintf(out, "── %s, seed %d ──\n", e.id, rep.Seed)
+			}
+			fmt.Fprintln(out, rep.Table)
+			if rep.Extra != "" {
+				fmt.Fprintln(out, rep.Extra)
+			}
+			fmt.Fprintln(out)
 		}
-		fmt.Fprintln(out)
 		ran++
 	}
 	if ran == 0 {

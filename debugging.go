@@ -39,15 +39,36 @@ type (
 
 // WhatIf evaluates removal variants over a featurized pipeline output via
 // the provenance shortcut (no pipeline replays), retraining the default
-// model per variant.
+// model per variant. Variants are evaluated concurrently on the shared
+// worker pool; results come back in variant order and are bit-for-bit
+// identical to a serial run. A variant that removes every surviving row
+// reports Surviving: 0 with a NaN metric instead of failing the batch.
+// Safe for concurrent callers. Use WhatIfParallel to pin the worker count.
 func WhatIf(ft *Featurized, variants []RemovalVariant, valid *Dataset) ([]WhatIfResult, error) {
+	return WhatIfParallel(ft, variants, valid, 0)
+}
+
+// WhatIfParallel is WhatIf with an explicit worker count (<= 0 = automatic,
+// 1 = serial). Every worker count yields identical results; the knob only
+// trades latency for CPU.
+func WhatIfParallel(ft *Featurized, variants []RemovalVariant, valid *Dataset, workers int) ([]WhatIfResult, error) {
 	if ft == nil || ft.Data == nil {
 		return nil, nderr.Empty("nde: featurized pipeline output is nil")
 	}
 	if err := checkPair("pipeline output", ft.Data, "valid", valid); err != nil {
 		return nil, err
 	}
-	return pipeline.WhatIfRemovals(ft, variants, func() ml.Classifier { return DefaultModel() }, valid)
+	return pipeline.WhatIfRemovalsParallel(ft, variants, func() ml.Classifier { return DefaultModel() }, valid, workers)
+}
+
+// ResetNeighborIndexCache drops every cached kNN neighbor index. The cache
+// holds the distance geometry of the last few (train, valid) pairs seen by
+// kNN-Shapley scoring (at most 4 indexes); long-running processes that churn
+// through many datasets can call this to release the memory eagerly. Safe
+// for concurrent use; in-flight computations keep their own reference and
+// finish unaffected.
+func ResetNeighborIndexCache() {
+	importance.ResetNeighborIndexCache()
 }
 
 // SelfConfidenceScores ranks training examples by out-of-fold predicted

@@ -13,6 +13,7 @@ import (
 	"nde/internal/importance"
 	"nde/internal/ml"
 	"nde/internal/obs"
+	"nde/internal/par"
 )
 
 // Oracle supplies ground-truth repairs for chosen training rows. In the
@@ -166,15 +167,30 @@ func IterativeClean(
 	newModel func() ml.Classifier,
 	batch, budget int,
 ) (*Result, error) {
+	sp := obs.StartSpan("cleaning.run")
+	defer sp.End()
+	return iterativeClean(sp, train, valid, test, oracle, strat, newModel, batch, budget)
+}
+
+// iterativeClean is IterativeClean reporting under an explicit parent span,
+// so concurrent strategy runs (CompareStrategies) each get their own
+// correctly nested trace instead of racing over the tracer's implicit
+// current-span stack.
+func iterativeClean(
+	sp *obs.Span,
+	train, valid, test *ml.Dataset,
+	oracle Oracle,
+	strat Strategy,
+	newModel func() ml.Classifier,
+	batch, budget int,
+) (*Result, error) {
 	if batch <= 0 {
 		return nil, fmt.Errorf("cleaning: batch must be positive, got %d", batch)
 	}
 	if budget < 0 {
 		return nil, fmt.Errorf("cleaning: negative budget %d", budget)
 	}
-	sp := obs.StartSpan("cleaning.run")
 	sp.SetStr("strategy", strat.Name()).SetInt("budget", int64(budget)).SetInt("batch", int64(batch))
-	defer sp.End()
 	prog := obs.NewProgress("cleaning_budget", budget)
 	defer prog.Done()
 
@@ -187,7 +203,7 @@ func IterativeClean(
 	res := &Result{Strategy: strat.Name(), Curve: []CurvePoint{{Cleaned: 0, Accuracy: acc}}}
 	cleaned := make(map[int]bool)
 	for len(cleaned) < budget && len(cleaned) < train.Len() {
-		rsp := obs.StartSpan("cleaning.round")
+		rsp := sp.StartChild("cleaning.round")
 		order, err := strat.Rank(cur, valid)
 		if err != nil {
 			rsp.End()
@@ -232,7 +248,9 @@ func IterativeClean(
 }
 
 // CompareStrategies runs IterativeClean for every strategy on identical
-// inputs and returns the results in strategy order.
+// inputs and returns the results in strategy order. Strategies run
+// concurrently on the shared worker pool; this is
+// CompareStrategiesParallel with the automatic worker count.
 func CompareStrategies(
 	train, valid, test *ml.Dataset,
 	oracle Oracle,
@@ -240,20 +258,57 @@ func CompareStrategies(
 	newModel func() ml.Classifier,
 	batch, budget int,
 ) ([]*Result, error) {
-	out := make([]*Result, 0, len(strategies))
-	for _, s := range strategies {
-		r, err := IterativeClean(train, valid, test, oracle, s, newModel, batch, budget)
+	return CompareStrategiesParallel(train, valid, test, oracle, strategies, newModel, batch, budget, 0)
+}
+
+// CompareStrategiesParallel runs the strategies concurrently with an
+// explicit worker count (<= 0 = GOMAXPROCS). Each strategy's cleaning loop
+// is independent — IterativeClean clones the training data, oracles must
+// not mutate their inputs, and newModel must return a fresh classifier per
+// call — so results (curve order, accuracies, final datasets) are
+// bit-for-bit identical for any worker count, including 1. Results and the
+// first error (if any) are reduced in strategy order. Strategies that rank
+// with kNN-Shapley share one neighbor index through the singleflight cache,
+// so the distance geometry is still computed only once across the fan-out.
+// The cleaning_strategies_inflight gauge tracks concurrency; each strategy
+// reports its rounds under its own cleaning.run span.
+func CompareStrategiesParallel(
+	train, valid, test *ml.Dataset,
+	oracle Oracle,
+	strategies []Strategy,
+	newModel func() ml.Classifier,
+	batch, budget, workers int,
+) ([]*Result, error) {
+	csp := obs.StartSpan("cleaning.compare")
+	csp.SetInt("strategies", int64(len(strategies))).
+		SetInt("workers", int64(par.Workers(workers, len(strategies))))
+	defer csp.End()
+
+	out := make([]*Result, len(strategies))
+	_, err := par.ForErr("cleaning.compare", workers, len(strategies), func(_, i int) error {
+		obs.AddGauge("cleaning_strategies_inflight", 1)
+		defer obs.AddGauge("cleaning_strategies_inflight", -1)
+		ssp := csp.StartChild("cleaning.run")
+		defer ssp.End()
+		r, err := iterativeClean(ssp, train, valid, test, oracle, strategies[i], newModel, batch, budget)
 		if err != nil {
-			return nil, fmt.Errorf("cleaning: strategy %s: %w", s.Name(), err)
+			return fmt.Errorf("cleaning: strategy %s: %w", strategies[i].Name(), err)
 		}
-		out = append(out, r)
+		out[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
 // AreaUnderCurve integrates a cleaning curve over the cleaned-count axis
 // (trapezoid rule) — a single-number summary for strategy comparison;
-// higher is better.
+// higher is better. A curve whose cleaned-count span is zero (every point
+// at the same budget position, e.g. a budget exhausted at 0) has no axis to
+// integrate over; the mean accuracy of its points is returned instead of
+// the 0/0 NaN.
 func AreaUnderCurve(curve []CurvePoint) float64 {
 	if len(curve) < 2 {
 		if len(curve) == 1 {
@@ -261,10 +316,18 @@ func AreaUnderCurve(curve []CurvePoint) float64 {
 		}
 		return 0
 	}
+	span := float64(curve[len(curve)-1].Cleaned - curve[0].Cleaned)
+	if span == 0 {
+		mean := 0.0
+		for _, p := range curve {
+			mean += p.Accuracy
+		}
+		return mean / float64(len(curve))
+	}
 	area := 0.0
 	for i := 1; i < len(curve); i++ {
 		dx := float64(curve[i].Cleaned - curve[i-1].Cleaned)
 		area += dx * (curve[i].Accuracy + curve[i-1].Accuracy) / 2
 	}
-	return area / float64(curve[len(curve)-1].Cleaned-curve[0].Cleaned)
+	return area / span
 }

@@ -1,12 +1,15 @@
 package cleaning
 
 import (
+	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"nde/internal/datagen"
 	"nde/internal/linalg"
 	"nde/internal/ml"
+	"nde/internal/obs"
 )
 
 func blobs(n int, sep float64, seed int64) *ml.Dataset {
@@ -243,5 +246,121 @@ func TestStrategyNamesAndLOO(t *testing.T) {
 			t.Fatal("duplicate in LOO ranking")
 		}
 		seen[i] = true
+	}
+}
+
+// Regression: a curve whose cleaned-count span is zero (>= 2 points at the
+// same budget position) used to divide 0/0 and return NaN; it must return
+// the mean accuracy instead.
+func TestAreaUnderCurveZeroSpan(t *testing.T) {
+	curve := []CurvePoint{{0, 0.4}, {0, 0.6}}
+	got := AreaUnderCurve(curve)
+	if math.IsNaN(got) {
+		t.Fatal("zero-span AUC is NaN")
+	}
+	if got != 0.5 {
+		t.Errorf("zero-span AUC = %v, want mean accuracy 0.5", got)
+	}
+	three := []CurvePoint{{5, 0.3}, {5, 0.6}, {5, 0.9}}
+	if got := AreaUnderCurve(three); got != 0.6 {
+		t.Errorf("zero-span AUC = %v, want 0.6", got)
+	}
+}
+
+// Parallel strategy comparison must be bit-for-bit identical to serial —
+// curve order, every accuracy (compared as float bits), final datasets and
+// AUC — for workers 1, 4 and GOMAXPROCS.
+func TestCompareStrategiesParallelDeterminism(t *testing.T) {
+	dirty, valid, test, truth, corrupted := dirtySetup(t, 80)
+	oracle := &LabelOracle{Truth: truth}
+	newModel := func() ml.Classifier { return ml.NewKNN(5) }
+	strategies := []Strategy{
+		&RandomStrategy{Seed: 7},
+		&NoiseStrategy{Seed: 7},
+		&KNNShapleyStrategy{K: 5},
+	}
+	budget := len(corrupted)
+	serial, err := CompareStrategiesParallel(dirty, valid, test, oracle, strategies, newModel, budget/4, budget, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{4, runtime.GOMAXPROCS(0)} {
+		got, err := CompareStrategiesParallel(dirty, valid, test, oracle, strategies, newModel, budget/4, budget, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(serial) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(got), len(serial))
+		}
+		for s := range got {
+			if got[s].Strategy != serial[s].Strategy {
+				t.Fatalf("workers=%d: result %d is %s, want %s (order changed)", workers, s, got[s].Strategy, serial[s].Strategy)
+			}
+			if len(got[s].Curve) != len(serial[s].Curve) {
+				t.Fatalf("workers=%d %s: curve %d points, want %d", workers, got[s].Strategy, len(got[s].Curve), len(serial[s].Curve))
+			}
+			for p := range got[s].Curve {
+				if got[s].Curve[p].Cleaned != serial[s].Curve[p].Cleaned ||
+					math.Float64bits(got[s].Curve[p].Accuracy) != math.Float64bits(serial[s].Curve[p].Accuracy) {
+					t.Errorf("workers=%d %s point %d: got %+v, want %+v",
+						workers, got[s].Strategy, p, got[s].Curve[p], serial[s].Curve[p])
+				}
+			}
+			if math.Float64bits(AreaUnderCurve(got[s].Curve)) != math.Float64bits(AreaUnderCurve(serial[s].Curve)) {
+				t.Errorf("workers=%d %s: AUC diverges", workers, got[s].Strategy)
+			}
+			for i := range got[s].Final.Y {
+				if got[s].Final.Y[i] != serial[s].Final.Y[i] {
+					t.Errorf("workers=%d %s: final label %d diverges", workers, got[s].Strategy, i)
+					break
+				}
+			}
+		}
+	}
+}
+
+// The inflight gauge returns to zero and per-strategy spans nest under the
+// compare span.
+func TestCompareStrategiesObsWiring(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+	defer obs.Reset()
+	obs.Reset()
+	dirty, valid, test, truth, _ := dirtySetup(t, 40)
+	oracle := &LabelOracle{Truth: truth}
+	newModel := func() ml.Classifier { return ml.NewKNN(5) }
+	strategies := []Strategy{&RandomStrategy{Seed: 1}, &NoiseStrategy{Seed: 1}}
+	if _, err := CompareStrategiesParallel(dirty, valid, test, oracle, strategies, newModel, 4, 8, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := obs.Default().Gauge("cleaning_strategies_inflight").Value(); got != 0 {
+		t.Errorf("inflight gauge = %v after completion, want 0", got)
+	}
+	var compare *obs.Span
+	for _, root := range obs.DefaultTracer().Roots() {
+		if root.Name() == "cleaning.compare" {
+			compare = root
+		}
+	}
+	if compare == nil {
+		t.Fatal("no cleaning.compare span")
+	}
+	runs := 0
+	for _, c := range compare.Children() {
+		if c.Name() == "cleaning.run" {
+			runs++
+			rounds := 0
+			for _, r := range c.Children() {
+				if r.Name() == "cleaning.round" {
+					rounds++
+				}
+			}
+			if rounds == 0 {
+				t.Error("cleaning.run span has no cleaning.round children")
+			}
+		}
+	}
+	if runs != 2 {
+		t.Errorf("compare span has %d cleaning.run children, want 2", runs)
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"nde/internal/datagen"
 	"nde/internal/importance"
 	"nde/internal/ml"
+	"nde/internal/par"
 )
 
 // E13Result carries the unlearning-vs-retraining measurements.
@@ -165,16 +166,25 @@ type E15Result struct {
 // corpora — the protocol of the cited study.
 func E15RAGImportance(seed int64) (*E15Result, error) {
 	const trials = 5
+	// the corpora are independent: generate and score them concurrently on
+	// the shared pool, then reduce serially in trial order so the sums are
+	// bit-identical to the old serial loop for any worker count
+	befores := make([]float64, trials)
+	afters := make([]float64, trials)
+	droppeds := make([]int, trials)
+	if _, err := par.ForErr("exp.e15_trials", 0, trials, func(_, trial int) error {
+		var err error
+		befores[trial], afters[trial], droppeds[trial], err = ragTrial(seed + int64(trial))
+		return err
+	}); err != nil {
+		return nil, err
+	}
 	var sumBefore, sumAfter float64
 	var totalDropped int
-	for trial := int64(0); trial < trials; trial++ {
-		before, after, dropped, err := ragTrial(seed + trial)
-		if err != nil {
-			return nil, err
-		}
-		sumBefore += before / trials
-		sumAfter += after / trials
-		totalDropped += dropped
+	for trial := 0; trial < trials; trial++ {
+		sumBefore += befores[trial] / trials
+		sumAfter += afters[trial] / trials
+		totalDropped += droppeds[trial]
 	}
 	t := &Table{
 		ID:      "E15",

@@ -1,0 +1,62 @@
+package exp
+
+import (
+	"fmt"
+
+	"nde/internal/obs"
+	"nde/internal/par"
+)
+
+// Replicate is one seed's run of a replicated experiment.
+type Replicate struct {
+	Seed  int64
+	Table *Table
+	// Extra is the experiment's free-form companion output (query plan,
+	// sparkline, leaderboard), when it has one.
+	Extra string
+}
+
+// Replicates fans one experiment out across several seeds on the shared
+// worker pool — the tutorial's "repeat the figure with R seeds" protocol
+// that used to run strictly serially. Every replicate is independent (run
+// must touch only per-call state; every E* generator qualifies), results
+// are collected in seed order and the first error is selected in seed
+// order, so the output is bit-for-bit identical for any worker count,
+// including 1.
+//
+// Observability: an exp.replicates span with one exp.replicate child per
+// seed, and the exp_replicates_total counter.
+func Replicates(id string, seeds []int64, workers int, run func(seed int64) (*Table, string, error)) ([]Replicate, error) {
+	sp := obs.StartSpan("exp.replicates")
+	sp.SetStr("id", id).
+		SetInt("replicates", int64(len(seeds))).
+		SetInt("workers", int64(par.Workers(workers, len(seeds))))
+	defer sp.End()
+
+	out := make([]Replicate, len(seeds))
+	_, err := par.ForErr("exp.replicates", workers, len(seeds), func(_, i int) error {
+		rsp := sp.StartChild("exp.replicate")
+		rsp.SetInt("seed", seeds[i])
+		defer rsp.End()
+		table, extra, err := run(seeds[i])
+		if err != nil {
+			return fmt.Errorf("exp: %s replicate seed %d: %w", id, seeds[i], err)
+		}
+		out[i] = Replicate{Seed: seeds[i], Table: table, Extra: extra}
+		return nil
+	})
+	obs.Count("exp_replicates_total", int64(len(seeds)))
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SeedSequence returns the canonical replicate seeds base..base+n-1.
+func SeedSequence(base int64, n int) []int64 {
+	seeds := make([]int64, n)
+	for i := range seeds {
+		seeds[i] = base + int64(i)
+	}
+	return seeds
+}

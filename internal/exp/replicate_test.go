@@ -1,0 +1,78 @@
+package exp
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// Replicate fan-out must produce byte-identical rendered tables in seed
+// order for workers 1, 4 and GOMAXPROCS.
+func TestReplicatesParallelDeterminism(t *testing.T) {
+	run := func(seed int64) (*Table, string, error) {
+		r, err := E1Figure2(80, seed)
+		if err != nil {
+			return nil, "", err
+		}
+		return r.Table, fmt.Sprintf("precision %.3f", r.DetectionPrecision), nil
+	}
+	seeds := SeedSequence(42, 4)
+	serial, err := Replicates("E1", seeds, 1, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(seeds) {
+		t.Fatalf("%d replicates, want %d", len(serial), len(seeds))
+	}
+	for i, rep := range serial {
+		if rep.Seed != seeds[i] {
+			t.Fatalf("replicate %d has seed %d, want %d (order lost)", i, rep.Seed, seeds[i])
+		}
+	}
+	for _, workers := range []int{4, runtime.GOMAXPROCS(0)} {
+		got, err := Replicates("E1", seeds, workers, run)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if got[i].Seed != serial[i].Seed {
+				t.Errorf("workers=%d replicate %d: seed %d, want %d", workers, i, got[i].Seed, serial[i].Seed)
+			}
+			if got[i].Table.String() != serial[i].Table.String() {
+				t.Errorf("workers=%d replicate %d: rendered table diverges from serial run", workers, i)
+			}
+			if got[i].Extra != serial[i].Extra {
+				t.Errorf("workers=%d replicate %d: extra %q, want %q", workers, i, got[i].Extra, serial[i].Extra)
+			}
+		}
+	}
+}
+
+// The reported error is the first failing seed in seed order, independent
+// of scheduling, and every replicate still runs.
+func TestReplicatesDeterministicError(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		ran := make([]bool, 6)
+		_, err := Replicates("EX", SeedSequence(10, 6), workers, func(seed int64) (*Table, string, error) {
+			ran[seed-10] = true
+			if seed == 12 || seed == 14 {
+				return nil, "", fmt.Errorf("seed %d: %w", seed, boom)
+			}
+			return &Table{ID: "EX"}, "", nil
+		})
+		if err == nil || !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+		if want := "exp: EX replicate seed 12"; err != nil && !strings.Contains(err.Error(), want) {
+			t.Errorf("workers=%d: err %q, want it to name seed 12 first", workers, err)
+		}
+		for i, r := range ran {
+			if !r {
+				t.Errorf("workers=%d: replicate %d did not run", workers, i)
+			}
+		}
+	}
+}

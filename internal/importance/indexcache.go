@@ -17,13 +17,23 @@ import (
 // pointer identities, so in-place feature mutations are detected and get a
 // fresh index.
 //
+// Concurrency: lookups are singleflight. The global mutex guards only the
+// map and the eviction queue; the expensive NewNeighborIndex build runs
+// outside it, gated per key by a ready channel. Concurrent first callers
+// for the SAME geometry share one build (later arrivals block on the
+// channel), while concurrent first callers for DIFFERENT geometries build
+// in parallel instead of serializing behind one another's builds. Failed
+// builds are not cached: the error is delivered to every waiter of that
+// flight and the key is removed so a later call can retry.
+//
 // IMPORTANT: a cached index may hold *stale labels* (its Datasets are the
 // ones from the first call). Callers must therefore use only the
 // geometry methods of the returned index (D2, Order, TopK) and read labels
 // from their own arguments — never Predict* on a cached index.
 //
-// Hits and misses are exported as the importance_neighbor_index_hits_total
-// and importance_neighbor_index_misses_total counters.
+// Metrics: importance_neighbor_index_{hits,misses,evictions,waits}_total.
+// A "wait" is a caller that blocked on another goroutine's in-flight build
+// instead of building or reading a completed entry.
 
 type indexKey struct {
 	trainFP, validFP uint64
@@ -31,41 +41,86 @@ type indexKey struct {
 
 const maxCachedIndexes = 4
 
+// indexEntry is one singleflight slot: ready is closed when the build
+// finishes, after which ix/err are immutable.
+type indexEntry struct {
+	ready chan struct{}
+	ix    *ml.NeighborIndex
+	err   error
+}
+
 var (
 	indexMu    sync.Mutex
-	indexCache = map[indexKey]*ml.NeighborIndex{}
+	indexCache = map[indexKey]*indexEntry{}
 	indexFIFO  []indexKey // insertion order for eviction
 )
 
 // sharedNeighborIndex returns the cached NeighborIndex for (train, valid)
-// — valid rows are the queries — building and caching it on a miss.
+// — valid rows are the queries — building and caching it on a miss. Safe
+// for concurrent use.
 func sharedNeighborIndex(train, valid *ml.Dataset, workers int) (*ml.NeighborIndex, error) {
 	key := indexKey{trainFP: train.X.Fingerprint(), validFP: valid.X.Fingerprint()}
 	indexMu.Lock()
-	defer indexMu.Unlock()
-	if ix, ok := indexCache[key]; ok {
+	if e, ok := indexCache[key]; ok {
+		indexMu.Unlock()
+		select {
+		case <-e.ready:
+		default:
+			obs.Inc("importance_neighbor_index_waits_total")
+			<-e.ready
+		}
+		if e.err != nil {
+			return nil, e.err
+		}
 		obs.Inc("importance_neighbor_index_hits_total")
-		return ix, nil
+		return e.ix, nil
 	}
 	obs.Inc("importance_neighbor_index_misses_total")
-	ix, err := ml.NewNeighborIndex(train, valid, workers)
-	if err != nil {
-		return nil, err
-	}
+	e := &indexEntry{ready: make(chan struct{})}
+	// Reserve the slot before building so the map never exceeds
+	// maxCachedIndexes entries, even while builds are in flight.
 	if len(indexFIFO) >= maxCachedIndexes {
 		delete(indexCache, indexFIFO[0])
-		indexFIFO = indexFIFO[1:]
+		// copy-down instead of re-slicing: indexFIFO = indexFIFO[1:] would
+		// keep the evicted head slot reachable through the backing array
+		copy(indexFIFO, indexFIFO[1:])
+		indexFIFO = indexFIFO[:len(indexFIFO)-1]
+		obs.Inc("importance_neighbor_index_evictions_total")
 	}
-	indexCache[key] = ix
+	indexCache[key] = e
 	indexFIFO = append(indexFIFO, key)
+	indexMu.Unlock()
+
+	ix, err := ml.NewNeighborIndex(train, valid, workers)
+	e.ix, e.err = ix, err
+	close(e.ready)
+	if err != nil {
+		// Drop the failed flight (unless Reset or eviction already replaced
+		// it) so the next caller retries instead of caching the error.
+		indexMu.Lock()
+		if indexCache[key] == e {
+			delete(indexCache, key)
+			for i, k := range indexFIFO {
+				if k == key {
+					copy(indexFIFO[i:], indexFIFO[i+1:])
+					indexFIFO = indexFIFO[:len(indexFIFO)-1]
+					break
+				}
+			}
+		}
+		indexMu.Unlock()
+		return nil, err
+	}
 	return ix, nil
 }
 
 // ResetNeighborIndexCache drops every cached index. Intended for tests and
 // for long-lived processes that want to bound memory between workloads.
+// In-flight builds are unaffected: their waiters still receive the built
+// index, it just is no longer cached afterwards.
 func ResetNeighborIndexCache() {
 	indexMu.Lock()
 	defer indexMu.Unlock()
-	indexCache = map[indexKey]*ml.NeighborIndex{}
+	indexCache = map[indexKey]*indexEntry{}
 	indexFIFO = nil
 }

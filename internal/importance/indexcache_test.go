@@ -1,6 +1,7 @@
 package importance
 
 import (
+	"sync"
 	"testing"
 
 	"nde/internal/ml"
@@ -137,5 +138,138 @@ func TestSharedNeighborIndexCacheEviction(t *testing.T) {
 	}
 	if len(indexFIFO) != maxCachedIndexes {
 		t.Errorf("FIFO holds %d entries, want %d", len(indexFIFO), maxCachedIndexes)
+	}
+}
+
+// Concurrent first callers for the SAME geometry must coalesce into one
+// singleflight build: exactly one miss, everyone else hits (possibly after
+// blocking on the in-flight build), and all callers get the same index.
+func TestSharedNeighborIndexSingleflight(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+	defer obs.Reset()
+	obs.Reset()
+	ResetNeighborIndexCache()
+	defer ResetNeighborIndexCache()
+
+	train := blobs(80, 1.5, 940)
+	valid := blobs(40, 1.5, 941)
+	const callers = 8
+	indexes := make([]*ml.NeighborIndex, callers)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			<-start
+			ix, err := sharedNeighborIndex(train, valid, 1)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			indexes[c] = ix
+		}(c)
+	}
+	close(start)
+	wg.Wait()
+	for c := 1; c < callers; c++ {
+		if indexes[c] != indexes[0] {
+			t.Fatalf("caller %d got a different index instance", c)
+		}
+	}
+	misses := obs.Default().Counter("importance_neighbor_index_misses_total").Value()
+	hits := obs.Default().Counter("importance_neighbor_index_hits_total").Value()
+	if misses != 1 {
+		t.Errorf("misses = %d, want 1 (build ran more than once)", misses)
+	}
+	if hits != callers-1 {
+		t.Errorf("hits = %d, want %d", hits, callers-1)
+	}
+}
+
+// Concurrent builds for DIFFERENT geometries must not serialize behind one
+// global lock held across the build: under churn from many goroutines the
+// cache stays within its bound at every observation point and every evicted
+// slot is accounted for in the eviction counter.
+func TestSharedNeighborIndexChurnBounded(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+	defer obs.Reset()
+	obs.Reset()
+	ResetNeighborIndexCache()
+	defer ResetNeighborIndexCache()
+
+	const datasets = 10
+	trains := make([]*ml.Dataset, datasets)
+	valids := make([]*ml.Dataset, datasets)
+	for i := range trains {
+		trains[i] = blobs(30, 1.5, int64(950+i))
+		valids[i] = blobs(15, 1.5, int64(970+i))
+	}
+	const goroutines = 6
+	const iters = 8
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				d := (g*iters + it) % datasets
+				if _, err := sharedNeighborIndex(trains[d], valids[d], 1); err != nil {
+					t.Error(err)
+					return
+				}
+				indexMu.Lock()
+				nc, nf := len(indexCache), len(indexFIFO)
+				indexMu.Unlock()
+				if nc > maxCachedIndexes || nf > maxCachedIndexes {
+					t.Errorf("cache grew past bound: map %d, fifo %d, max %d", nc, nf, maxCachedIndexes)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	indexMu.Lock()
+	nc, nf := len(indexCache), len(indexFIFO)
+	indexMu.Unlock()
+	if nc != maxCachedIndexes || nf != maxCachedIndexes {
+		t.Errorf("final cache size map %d fifo %d, want %d", nc, nf, maxCachedIndexes)
+	}
+	misses := obs.Default().Counter("importance_neighbor_index_misses_total").Value()
+	evictions := obs.Default().Counter("importance_neighbor_index_evictions_total").Value()
+	if misses < datasets {
+		t.Errorf("misses = %d, want >= %d distinct geometries", misses, datasets)
+	}
+	if evictions != misses-maxCachedIndexes {
+		t.Errorf("evictions = %d, want misses-max = %d", evictions, misses-maxCachedIndexes)
+	}
+}
+
+// The FIFO eviction must not retain evicted keys through the backing array
+// (the old indexFIFO = indexFIFO[1:] bug): after heavy churn the queue's
+// capacity stays small instead of growing with every insertion.
+func TestSharedNeighborIndexFIFONoLeak(t *testing.T) {
+	ResetNeighborIndexCache()
+	defer ResetNeighborIndexCache()
+	const churn = 24
+	for i := 0; i < churn; i++ {
+		train := blobs(12, 1.5, int64(1200+i))
+		valid := blobs(6, 1.5, int64(1300+i))
+		if _, err := sharedNeighborIndex(train, valid, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	indexMu.Lock()
+	defer indexMu.Unlock()
+	if len(indexFIFO) != maxCachedIndexes {
+		t.Fatalf("fifo len = %d, want %d", len(indexFIFO), maxCachedIndexes)
+	}
+	// copy-down keeps the queue in place; it must never have grown beyond
+	// one append past the bound
+	if cap(indexFIFO) > 2*maxCachedIndexes {
+		t.Errorf("fifo cap = %d after %d churns: evicted heads are being retained", cap(indexFIFO), churn)
 	}
 }

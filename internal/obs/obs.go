@@ -69,6 +69,17 @@ func SetGauge(name string, v float64) {
 	defaultRegistry.Gauge(name).Set(v)
 }
 
+// AddGauge adds delta (which may be negative) to the named gauge in the
+// default registry — the in-flight pattern: +1 when a concurrent unit of
+// work starts, -1 when it ends. Safe for concurrent use; no-op while
+// disabled.
+func AddGauge(name string, delta float64) {
+	if !Enabled() {
+		return
+	}
+	defaultRegistry.Gauge(name).Add(delta)
+}
+
 // Observe records v into the named histogram in the default registry,
 // creating it with DefBuckets if needed. No-op while disabled.
 func Observe(name string, v float64) {

@@ -25,8 +25,10 @@ func Int(key string, val int64) Attr { return Attr{Key: key, Val: strconv.Format
 // (from runtime.MemStats) and arbitrary attributes such as row counts.
 // Spans started while another span is open on the same tracer become its
 // children, mirroring the call structure of a single orchestration
-// goroutine; concurrent worker goroutines should report through metrics
-// and Progress instead of spans.
+// goroutine. Concurrent worker goroutines must not use StartSpan (the
+// implicit current-span nesting would interleave their trees); they attach
+// children to an explicit parent with Span.StartChild, which is safe for
+// concurrent use, or report through metrics and Progress.
 type Span struct {
 	tracer *Tracer // nil for the shared no-op span
 	name   string
@@ -40,6 +42,7 @@ type Span struct {
 	allocs      uint64
 	bytes       uint64
 	ended       bool
+	noAllocs    bool // StartChild spans: alloc deltas are not captured
 
 	children []*Span
 }
@@ -53,6 +56,27 @@ func StartSpan(name string, attrs ...Attr) *Span {
 		return noopSpan
 	}
 	return defaultTracer.StartSpan(name, attrs...)
+}
+
+// StartChild begins a span as an explicit child of s, without consulting
+// or updating the tracer's implicit current-span stack. Unlike StartSpan it
+// is safe to call from concurrent worker goroutines (each worker annotates
+// and ends only its own child), so parallel loops can attach per-item spans
+// under the loop's span. Children appear in creation order, which under
+// concurrency is scheduling order, not item order. Allocation-delta capture
+// is skipped for such spans: overlapping concurrent work would make the
+// process-wide MemStats deltas meaningless. No-op (and allocation-free) on
+// the no-op span.
+func (s *Span) StartChild(name string, attrs ...Attr) *Span {
+	if s.tracer == nil {
+		return noopSpan
+	}
+	c := &Span{tracer: s.tracer, name: name, attrs: attrs, parent: s, noAllocs: true}
+	s.tracer.mu.Lock()
+	s.children = append(s.children, c)
+	s.tracer.mu.Unlock()
+	c.start = time.Now()
+	return c
 }
 
 // SetStr attaches a string attribute; chainable. No-op on the no-op span.
@@ -85,7 +109,7 @@ func (s *Span) End() {
 		return
 	}
 	s.wall = time.Since(s.start)
-	if s.tracer.captureAllocs {
+	if s.tracer.captureAllocs && !s.noAllocs {
 		var m runtime.MemStats
 		runtime.ReadMemStats(&m)
 		s.allocs = m.Mallocs - s.startAllocs

@@ -3,6 +3,7 @@ package obs
 import (
 	"os"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -178,5 +179,81 @@ func mustContain(t *testing.T, path, needle string) {
 	}
 	if !strings.Contains(string(data), needle) {
 		t.Errorf("%s does not contain %q:\n%s", path, needle, data)
+	}
+}
+
+// StartChild must attach children to an explicit parent from concurrent
+// goroutines without corrupting the tree or racing (run under -race).
+func TestSpanStartChildConcurrent(t *testing.T) {
+	tr := NewTracer()
+	tr.CaptureAllocs(false)
+	root := tr.StartSpan("parallel_loop")
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := root.StartChild("item", Int("worker", int64(w)))
+			c.SetInt("n", 1)
+			c.End()
+		}(w)
+	}
+	wg.Wait()
+	root.End()
+
+	roots := tr.Roots()
+	if len(roots) != 1 {
+		t.Fatalf("roots = %d, want 1", len(roots))
+	}
+	kids := roots[0].Children()
+	if len(kids) != workers {
+		t.Fatalf("children = %d, want %d", len(kids), workers)
+	}
+	for _, c := range kids {
+		if c.Name() != "item" {
+			t.Errorf("child name = %q", c.Name())
+		}
+		if !c.ended {
+			t.Error("child not ended")
+		}
+		if c.Allocs() != 0 {
+			t.Errorf("child alloc delta = %d, want 0 (capture skipped for concurrent children)", c.Allocs())
+		}
+	}
+	// the implicit stack must be untouched by StartChild: a new span is a root
+	next := tr.StartSpan("after")
+	next.End()
+	if got := len(tr.Roots()); got != 2 {
+		t.Errorf("roots after = %d, want 2", got)
+	}
+}
+
+// The no-op span's StartChild stays no-op and allocation-free.
+func TestStartChildNoop(t *testing.T) {
+	Disable()
+	sp := StartSpan("off")
+	allocs := testing.AllocsPerRun(100, func() {
+		c := sp.StartChild("child")
+		c.End()
+	})
+	if allocs != 0 {
+		t.Errorf("StartChild allocated %v times while disabled", allocs)
+	}
+}
+
+// AddGauge accumulates deltas (the in-flight pattern) and is disabled-safe.
+func TestAddGauge(t *testing.T) {
+	Disable()
+	AddGauge("inflight_test", 5) // must not touch the registry
+	Enable()
+	defer Disable()
+	defer Reset()
+	Reset()
+	AddGauge("inflight_test", 2)
+	AddGauge("inflight_test", 1)
+	AddGauge("inflight_test", -3)
+	if got := Default().Gauge("inflight_test").Value(); got != 0 {
+		t.Errorf("gauge = %v, want 0", got)
 	}
 }

@@ -130,6 +130,25 @@ func For(name string, requested, items int, body func(worker, i int)) *Stats {
 // share is split into this many chunks so stragglers can be stolen.
 const chunksPerWorker = 8
 
+// ForErr runs body(worker, i) for every i in [0, items) on the pool and
+// collects per-item errors. Every item runs even when an early one fails
+// (bodies must already tolerate that for the no-error determinism contract
+// to hold); the returned error is the FIRST failing item's error in item
+// order, so which error a caller sees does not depend on worker count or
+// scheduling.
+func ForErr(name string, requested, items int, body func(worker, i int) error) (*Stats, error) {
+	errs := make([]error, items)
+	st := For(name, requested, items, func(w, i int) {
+		errs[i] = body(w, i)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return st, err
+		}
+	}
+	return st, nil
+}
+
 // ForBlocks runs body(worker, lo, hi) over contiguous blocks of [0, items)
 // of the given block size (the last block may be shorter), dynamically
 // scheduled across the pool. Use it when the body wants to amortize

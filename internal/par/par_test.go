@@ -1,6 +1,7 @@
 package par
 
 import (
+	"fmt"
 	"runtime"
 	"sync/atomic"
 	"testing"
@@ -154,5 +155,31 @@ func TestForObsOffAllocations(t *testing.T) {
 	})
 	if allocs > 3 {
 		t.Errorf("obs-off For allocates %v objects per run, want <= 3", allocs)
+	}
+}
+
+// ForErr must return the first failing item's error IN ITEM ORDER for any
+// worker count, while still visiting every item.
+func TestForErrDeterministicFirstError(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		visited := make([]int32, 20)
+		_, err := ForErr("errprobe", workers, 20, func(_, i int) error {
+			atomic.AddInt32(&visited[i], 1)
+			if i == 7 || i == 13 {
+				return fmt.Errorf("item %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "item 7 failed" {
+			t.Errorf("workers=%d: err = %v, want item 7's error", workers, err)
+		}
+		for i, v := range visited {
+			if v != 1 {
+				t.Errorf("workers=%d: item %d visited %d times", workers, i, v)
+			}
+		}
+	}
+	if _, err := ForErr("ok", 2, 5, func(_, _ int) error { return nil }); err != nil {
+		t.Errorf("no-error loop returned %v", err)
 	}
 }

@@ -2,8 +2,11 @@ package pipeline
 
 import (
 	"fmt"
+	"math"
 
 	"nde/internal/ml"
+	"nde/internal/obs"
+	"nde/internal/par"
 	"nde/internal/prov"
 )
 
@@ -22,7 +25,10 @@ type RemovalVariant struct {
 }
 
 // WhatIfResult pairs a variant with the metric after retraining on the
-// surviving output rows.
+// surviving output rows. A variant that removes every surviving output row
+// is reported with Surviving == 0 and Metric == NaN (there is no model to
+// evaluate) instead of failing the whole batch; check with math.IsNaN
+// before aggregating.
 type WhatIfResult struct {
 	Name      string
 	Metric    float64
@@ -35,30 +41,74 @@ type WhatIfResult struct {
 // metric. Correctness relies on the provenance contract verified in the
 // pipeline tests (polynomial evaluation ≡ pipeline replay): the results
 // equal full replays at a fraction of the cost.
+//
+// Variants are evaluated concurrently on the shared worker pool (every
+// variant's filter → subset → retrain → evaluate chain is independent);
+// this is WhatIfRemovalsParallel with the automatic worker count. newModel
+// must be safe to call from concurrent goroutines — returning a fresh
+// classifier per call, as every existing factory does, is sufficient.
 func WhatIfRemovals(ft *Featurized, variants []RemovalVariant, newModel func() ml.Classifier, valid *ml.Dataset) ([]WhatIfResult, error) {
+	return WhatIfRemovalsParallel(ft, variants, newModel, valid, 0)
+}
+
+// WhatIfRemovalsParallel is WhatIfRemovals with an explicit worker count
+// (<= 0 = GOMAXPROCS). Results are reduced in variant order, so the output
+// — including which error is reported when several variants fail — is
+// bit-for-bit identical for any worker count, including 1.
+func WhatIfRemovalsParallel(ft *Featurized, variants []RemovalVariant, newModel func() ml.Classifier, valid *ml.Dataset, workers int) ([]WhatIfResult, error) {
 	if newModel == nil {
 		return nil, fmt.Errorf("pipeline: WhatIfRemovals needs a model factory")
 	}
-	out := make([]WhatIfResult, 0, len(variants))
-	for _, v := range variants {
-		removed := make(map[prov.TupleID]bool, len(v.Remove))
-		for _, id := range v.Remove {
-			removed[id] = true
-		}
-		var keep []int
-		for o, p := range ft.Prov {
-			if p.EvalBool(func(id prov.TupleID) bool { return !removed[id] }) {
-				keep = append(keep, o)
-			}
-		}
-		subset := ft.Data.Subset(keep)
-		metric, err := ml.EvaluateAccuracy(newModel(), subset, valid)
+	sp := obs.StartSpan("pipeline.whatif")
+	sp.SetInt("variants", int64(len(variants))).
+		SetInt("workers", int64(par.Workers(workers, len(variants))))
+	defer sp.End()
+
+	out := make([]WhatIfResult, len(variants))
+	_, err := par.ForErr("pipeline.whatif", workers, len(variants), func(_, i int) error {
+		vsp := sp.StartChild("pipeline.whatif.variant")
+		vsp.SetStr("name", variants[i].Name)
+		defer vsp.End()
+		res, err := evalRemovalVariant(ft, variants[i], newModel, valid)
 		if err != nil {
-			return nil, fmt.Errorf("pipeline: what-if variant %q: %w", v.Name, err)
+			return fmt.Errorf("pipeline: what-if variant %q: %w", variants[i].Name, err)
 		}
-		out = append(out, WhatIfResult{Name: v.Name, Metric: metric, Surviving: len(keep)})
+		out[i] = res
+		vsp.SetInt("surviving", int64(res.Surviving))
+		return nil
+	})
+	obs.Count("whatif_variants_total", int64(len(variants)))
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// evalRemovalVariant runs one variant's filter → subset → retrain →
+// evaluate chain. It touches only its arguments and freshly allocated
+// state, which is what makes the variant fan-out safe.
+func evalRemovalVariant(ft *Featurized, v RemovalVariant, newModel func() ml.Classifier, valid *ml.Dataset) (WhatIfResult, error) {
+	removed := make(map[prov.TupleID]bool, len(v.Remove))
+	for _, id := range v.Remove {
+		removed[id] = true
+	}
+	var keep []int
+	for o, p := range ft.Prov {
+		if p.EvalBool(func(id prov.TupleID) bool { return !removed[id] }) {
+			keep = append(keep, o)
+		}
+	}
+	if len(keep) == 0 {
+		// the variant removed every surviving output row: report the
+		// documented NaN sentinel rather than failing the whole batch
+		return WhatIfResult{Name: v.Name, Metric: math.NaN(), Surviving: 0}, nil
+	}
+	subset := ft.Data.Subset(keep)
+	metric, err := ml.EvaluateAccuracy(newModel(), subset, valid)
+	if err != nil {
+		return WhatIfResult{}, err
+	}
+	return WhatIfResult{Name: v.Name, Metric: metric, Surviving: len(keep)}, nil
 }
 
 // CompareWithReplay runs a removal variant both ways — via the provenance

@@ -1,7 +1,10 @@
 package pipeline
 
 import (
+	"fmt"
+	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 	"testing/quick"
 
@@ -9,6 +12,7 @@ import (
 	"nde/internal/frame"
 	"nde/internal/linalg"
 	"nde/internal/ml"
+	"nde/internal/obs"
 	"nde/internal/prov"
 )
 
@@ -196,5 +200,110 @@ func TestGroupAggExistenceMatchesReplay(t *testing.T) {
 		if predicted[i] != actual[i] {
 			t.Errorf("group %d: predicted %s, actual %s", i, predicted[i], actual[i])
 		}
+	}
+}
+
+// Parallel what-if evaluation must be bit-for-bit identical to serial:
+// same variant order, same metrics (compared as float bits), same survivor
+// counts for workers 1, 4 and GOMAXPROCS.
+func TestWhatIfRemovalsParallelDeterminism(t *testing.T) {
+	_, _, ft, _, valid := whatIfFixture(t)
+	newModel := func() ml.Classifier { return ml.NewKNN(3) }
+	r := rand.New(rand.NewSource(77))
+	variants := make([]RemovalVariant, 12)
+	for v := range variants {
+		var remove []prov.TupleID
+		for row := 0; row < 40; row++ {
+			if r.Float64() < 0.2 {
+				remove = append(remove, prov.TupleID{Table: "train", Row: row})
+			}
+		}
+		variants[v] = RemovalVariant{Name: fmt.Sprintf("v%d", v), Remove: remove}
+	}
+	serial, err := WhatIfRemovalsParallel(ft, variants, newModel, valid, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{4, runtime.GOMAXPROCS(0)} {
+		got, err := WhatIfRemovalsParallel(ft, variants, newModel, valid, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(serial) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(got), len(serial))
+		}
+		for i := range got {
+			if got[i].Name != serial[i].Name || got[i].Surviving != serial[i].Surviving ||
+				math.Float64bits(got[i].Metric) != math.Float64bits(serial[i].Metric) {
+				t.Errorf("workers=%d variant %d: got %+v, want %+v", workers, i, got[i], serial[i])
+			}
+		}
+	}
+}
+
+// A variant that removes every surviving output row must not abort the
+// batch: it reports Surviving 0 with the NaN sentinel while its siblings
+// are evaluated normally.
+func TestWhatIfRemovalsAllTuplesRemoved(t *testing.T) {
+	_, _, ft, _, valid := whatIfFixture(t)
+	newModel := func() ml.Classifier { return ml.NewKNN(3) }
+	all := make([]prov.TupleID, 40)
+	for row := range all {
+		all[row] = prov.TupleID{Table: "train", Row: row}
+	}
+	variants := []RemovalVariant{
+		{Name: "none", Remove: nil},
+		{Name: "everything", Remove: all},
+		{Name: "drop-2", Remove: all[:2]},
+	}
+	results, err := WhatIfRemovals(ft, variants, newModel, valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[1].Surviving != 0 || !math.IsNaN(results[1].Metric) {
+		t.Errorf("all-removed variant = %+v, want Surviving 0 and NaN metric", results[1])
+	}
+	if results[0].Surviving != 40 || math.IsNaN(results[0].Metric) {
+		t.Errorf("none variant = %+v", results[0])
+	}
+	if results[2].Surviving != 38 || math.IsNaN(results[2].Metric) {
+		t.Errorf("drop-2 variant = %+v", results[2])
+	}
+}
+
+// Per-variant spans appear under the batch span when obs is on.
+func TestWhatIfRemovalsObsWiring(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+	defer obs.Reset()
+	obs.Reset()
+	_, _, ft, _, valid := whatIfFixture(t)
+	newModel := func() ml.Classifier { return ml.NewKNN(3) }
+	variants := []RemovalVariant{
+		{Name: "a"}, {Name: "b", Remove: []prov.TupleID{{Table: "train", Row: 1}}},
+	}
+	if _, err := WhatIfRemovalsParallel(ft, variants, newModel, valid, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := obs.Default().Counter("whatif_variants_total").Value(); got != 2 {
+		t.Errorf("whatif_variants_total = %d, want 2", got)
+	}
+	var batch *obs.Span
+	for _, root := range obs.DefaultTracer().Roots() {
+		if root.Name() == "pipeline.whatif" {
+			batch = root
+		}
+	}
+	if batch == nil {
+		t.Fatal("no pipeline.whatif span recorded")
+	}
+	perVariant := 0
+	for _, c := range batch.Children() {
+		if c.Name() == "pipeline.whatif.variant" {
+			perVariant++
+		}
+	}
+	if perVariant != 2 {
+		t.Errorf("batch span has %d per-variant children, want 2", perVariant)
 	}
 }

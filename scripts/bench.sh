@@ -1,11 +1,13 @@
 #!/bin/sh
-# bench.sh — run the importance/pipeline hot-path benchmarks with -benchmem
-# and record them in BENCH_importance.json (name, ns/op, allocs/op, B/op)
-# so the perf trajectory is tracked PR-over-PR. `make bench` runs this.
+# bench.sh — run the tracked benchmark series with -benchmem and record
+# them as JSON (name, ns/op, allocs/op, B/op) so the perf trajectory is
+# tracked PR-over-PR. Two series are emitted: the importance/pipeline hot
+# paths (BENCH_importance.json) and the what-if fan-out (BENCH_whatif.json).
+# `make bench` runs this.
 #
-# Usage: sh scripts/bench.sh [output.json]
+# Usage: sh scripts/bench.sh [importance-output.json]
 #   NDE_BENCHTIME=2s   benchtime per benchmark (default 1s)
-#   NDE_BENCH_FILTER   benchmark regexp (default: the tracked hot paths)
+#   NDE_BENCH_FILTER   importance-series benchmark regexp override
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -16,10 +18,12 @@ benchtime="${NDE_BENCHTIME:-1s}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
-echo "==> go test -bench '$filter' -benchmem -benchtime $benchtime ."
-go test -run '^$' -bench "$filter" -benchmem -benchtime "$benchtime" . | tee "$tmp"
+# run_bench FILTER OUTPUT — run one benchmark series and write its JSON
+run_bench() {
+    echo "==> go test -bench '$1' -benchmem -benchtime $benchtime ."
+    go test -run '^$' -bench "$1" -benchmem -benchtime "$benchtime" . | tee "$tmp"
 
-awk '
+    awk '
 BEGIN { print "["; first = 1 }
 /^Benchmark/ {
     name = $1
@@ -39,6 +43,10 @@ BEGIN { print "["; first = 1 }
     printf "}"
 }
 END { print "\n]" }
-' "$tmp" > "$out"
+' "$tmp" > "$2"
 
-echo "==> wrote $out"
+    echo "==> wrote $2"
+}
+
+run_bench "$filter" "$out"
+run_bench "^BenchmarkWhatIf$" "BENCH_whatif.json"

@@ -29,6 +29,13 @@ sh scripts/panic_audit.sh
 echo "==> go test -fuzz FuzzReadCSV (2s)"
 go test -run='^FuzzReadCSV$' -fuzz='^FuzzReadCSV$' -fuzztime=2s ./internal/frame/
 
+# race-stress gate at the quick (time-budgeted) scale; `make stress` runs
+# the full GOMAXPROCS sweep. Skip with NDE_SKIP_STRESS=1 when in a hurry.
+if [ "${NDE_SKIP_STRESS:-0}" != "1" ]; then
+    echo "==> scripts/stress.sh quick"
+    sh scripts/stress.sh quick
+fi
+
 # opt-in: record the tracked hot-path benchmarks (BENCH_importance.json)
 if [ "${NDE_BENCH:-0}" = "1" ]; then
     echo "==> scripts/bench.sh"

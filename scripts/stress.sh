@@ -1,0 +1,28 @@
+#!/bin/sh
+# stress.sh — the race-stress gate: hammer the concurrent facade entry
+# points (kNN-Shapley, what-if batches, iterative cleaning) from many
+# goroutines under the race detector, asserting bit-identical results vs.
+# serial baselines, across a GOMAXPROCS sweep. `make stress` runs the full
+# sweep; `sh scripts/stress.sh quick` is the time-budgeted variant that
+# scripts/check.sh runs.
+set -eu
+cd "$(dirname "$0")/.."
+
+procs="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 4)"
+
+if [ "${1:-full}" = "quick" ]; then
+    # quick: default (small) scale, one pass, current GOMAXPROCS only
+    echo "==> stress quick: go test -race -run TestStress ."
+    go test -race -count=1 -run 'TestStress' .
+    exit 0
+fi
+
+# full: heavy scale, two passes per GOMAXPROCS setting so the second pass
+# starts with a warm process image, sweeping serial -> 2 -> all cores
+for p in 1 2 "$procs"; do
+    [ "$p" = 2 ] && [ "$procs" -lt 2 ] && continue
+    echo "==> stress full: GOMAXPROCS=$p go test -race -count=2 -run TestStress ."
+    NDE_STRESS=1 GOMAXPROCS="$p" go test -race -count=2 -run 'TestStress' .
+done
+
+echo "stress OK"

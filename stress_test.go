@@ -1,0 +1,234 @@
+package nde_test
+
+// stress_test.go — the race-stress gate: hammer the facade's concurrent
+// entry points (kNN-Shapley scoring, what-if removal batches, iterative
+// cleaning) from many goroutines over several distinct datasets, under the
+// race detector, and assert that every concurrent result is bit-for-bit
+// identical to a serial baseline. A cache-churn goroutine resets the shared
+// neighbor-index cache throughout, so the singleflight build/evict/reset
+// paths are exercised at the same time.
+//
+// The default scale is small enough for `go test -race ./...`; set
+// NDE_STRESS=1 (as `make stress` does) for the heavier sweep.
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"nde"
+	"nde/internal/datagen"
+)
+
+// stressScale returns (datasets, goroutines, iterations per goroutine).
+func stressScale() (int, int, int) {
+	if os.Getenv("NDE_STRESS") == "1" {
+		return 4, 8, 3
+	}
+	return 2, 4, 2
+}
+
+// stressFixture is one dataset's inputs plus serial baselines for every
+// entry point under stress.
+type stressFixture struct {
+	id int
+
+	trainFrame, validFrame *nde.Frame
+
+	dirty, valid, test *nde.Dataset
+	truth              []int
+
+	ft        *nde.Featurized
+	validLike *nde.Dataset
+	variants  []nde.RemovalVariant
+
+	baseShapley  nde.Scores
+	baseWhatIf   []nde.WhatIfResult
+	baseCleaning *nde.CleaningResult
+}
+
+func newStressFixture(t *testing.T, id int) *stressFixture {
+	t.Helper()
+	fx := &stressFixture{id: id}
+	n := 110 + 10*id
+	seed := int64(100 + id)
+	s := nde.LoadRecommendationLetters(n, seed)
+	fx.trainFrame, fx.validFrame = s.Train, s.Valid
+
+	dTrain, dValid, dTest, err := nde.FeaturizeLetterSplits(s.Train, s.Valid, s.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx.truth = append([]int(nil), dTrain.Y...)
+	fx.dirty, _, err = datagen.FlipDatasetLabels(dTrain, 0.15, seed+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx.valid, fx.test = dValid, dTest
+
+	hp, err := nde.BuildHiringPipeline(s.Train, s.Data.Jobs, s.Data.Social)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fx.ft, err = hp.WithProvenance(); err != nil {
+		t.Fatal(err)
+	}
+	if fx.validLike, err = hp.FeaturizeValidationLike(s.Valid, s.Data.Jobs, s.Data.Social, hp.Encoder); err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 6; v++ {
+		rows := make([]nde.TupleID, 0, 4)
+		for r := v * 5; r < v*5+4 && r < hp.TrainRows; r++ {
+			rows = append(rows, nde.TupleID{Table: "train", Row: r})
+		}
+		fx.variants = append(fx.variants, nde.RemovalVariant{
+			Name:   fmt.Sprintf("drop-%d", v),
+			Remove: rows,
+		})
+	}
+	// one variant that removes every source row — the NaN-sentinel path must
+	// stay stable under concurrency too
+	all := make([]nde.TupleID, hp.TrainRows)
+	for r := range all {
+		all[r] = nde.TupleID{Table: "train", Row: r}
+	}
+	fx.variants = append(fx.variants, nde.RemovalVariant{Name: "everything", Remove: all})
+
+	// serial baselines: workers pinned to 1, cache cold
+	nde.ResetNeighborIndexCache()
+	if fx.baseShapley, err = nde.KNNShapleyValues(s.Train, s.Valid, 5); err != nil {
+		t.Fatal(err)
+	}
+	if fx.baseWhatIf, err = nde.WhatIfParallel(fx.ft, fx.variants, fx.validLike, 1); err != nil {
+		t.Fatal(err)
+	}
+	if fx.baseCleaning, err = nde.IterativeCleaning(fx.dirty, fx.valid, fx.test, fx.truth, 4, 8); err != nil {
+		t.Fatal(err)
+	}
+	return fx
+}
+
+func (fx *stressFixture) checkShapley() error {
+	got, err := nde.KNNShapleyValues(fx.trainFrame, fx.validFrame, 5)
+	if err != nil {
+		return fmt.Errorf("dataset %d shapley: %w", fx.id, err)
+	}
+	if len(got) != len(fx.baseShapley) {
+		return fmt.Errorf("dataset %d shapley: %d scores, want %d", fx.id, len(got), len(fx.baseShapley))
+	}
+	for i := range got {
+		if math.Float64bits(got[i]) != math.Float64bits(fx.baseShapley[i]) {
+			return fmt.Errorf("dataset %d shapley: score %d = %v, serial baseline %v", fx.id, i, got[i], fx.baseShapley[i])
+		}
+	}
+	return nil
+}
+
+func (fx *stressFixture) checkWhatIf() error {
+	got, err := nde.WhatIfParallel(fx.ft, fx.variants, fx.validLike, 0)
+	if err != nil {
+		return fmt.Errorf("dataset %d what-if: %w", fx.id, err)
+	}
+	if len(got) != len(fx.baseWhatIf) {
+		return fmt.Errorf("dataset %d what-if: %d results, want %d", fx.id, len(got), len(fx.baseWhatIf))
+	}
+	for i := range got {
+		w, b := got[i], fx.baseWhatIf[i]
+		if w.Name != b.Name || w.Surviving != b.Surviving ||
+			math.Float64bits(w.Metric) != math.Float64bits(b.Metric) {
+			return fmt.Errorf("dataset %d what-if: variant %d = %+v, serial baseline %+v", fx.id, i, w, b)
+		}
+	}
+	return nil
+}
+
+func (fx *stressFixture) checkCleaning() error {
+	got, err := nde.IterativeCleaning(fx.dirty, fx.valid, fx.test, fx.truth, 4, 8)
+	if err != nil {
+		return fmt.Errorf("dataset %d cleaning: %w", fx.id, err)
+	}
+	b := fx.baseCleaning
+	if got.Strategy != b.Strategy || len(got.Curve) != len(b.Curve) {
+		return fmt.Errorf("dataset %d cleaning: curve %d points (%s), want %d (%s)",
+			fx.id, len(got.Curve), got.Strategy, len(b.Curve), b.Strategy)
+	}
+	for i := range got.Curve {
+		if got.Curve[i].Cleaned != b.Curve[i].Cleaned ||
+			math.Float64bits(got.Curve[i].Accuracy) != math.Float64bits(b.Curve[i].Accuracy) {
+			return fmt.Errorf("dataset %d cleaning: point %d = %+v, serial baseline %+v",
+				fx.id, i, got.Curve[i], b.Curve[i])
+		}
+	}
+	for i := range got.Final.Y {
+		if got.Final.Y[i] != b.Final.Y[i] {
+			return fmt.Errorf("dataset %d cleaning: final label %d = %d, serial baseline %d",
+				fx.id, i, got.Final.Y[i], b.Final.Y[i])
+		}
+	}
+	return nil
+}
+
+// TestStressConcurrentFacade is the gate itself: every goroutine loops over
+// every dataset calling all three entry points (starting at a different one
+// per goroutine so the interleavings differ), while a churn goroutine
+// resets the neighbor-index cache to force concurrent rebuilds.
+func TestStressConcurrentFacade(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress gate skipped in -short mode")
+	}
+	nDatasets, goroutines, iters := stressScale()
+	fixtures := make([]*stressFixture, nDatasets)
+	for d := range fixtures {
+		fixtures[d] = newStressFixture(t, d)
+	}
+	nde.ResetNeighborIndexCache()
+	defer nde.ResetNeighborIndexCache()
+
+	errc := make(chan error, goroutines)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				for d := range fixtures {
+					fx := fixtures[(g+d)%len(fixtures)]
+					checks := []func() error{fx.checkShapley, fx.checkWhatIf, fx.checkCleaning}
+					for c := 0; c < len(checks); c++ {
+						if err := checks[(g+it+c)%len(checks)](); err != nil {
+							select {
+							case errc <- err:
+							default:
+							}
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	var churn sync.WaitGroup
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		for {
+			select {
+			case <-done:
+				return
+			case <-time.After(5 * time.Millisecond):
+				nde.ResetNeighborIndexCache()
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+	churn.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
