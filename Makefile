@@ -1,6 +1,6 @@
 # Standard entry points; see README.md § Testing.
 
-.PHONY: build test check bench bench-all stress
+.PHONY: build test check bench bench-all stress ops-smoke
 
 build:
 	go build ./...
@@ -17,6 +17,11 @@ check:
 # GOMAXPROCS sweep (scripts/check.sh runs the quick variant)
 stress:
 	sh scripts/stress.sh
+
+# live ops plane smoke test: run nde-pipeline with -ops, scrape /healthz,
+# /metrics and /trace over HTTP, interrupt, assert a clean exit and ledger
+ops-smoke:
+	sh scripts/ops_smoke.sh
 
 # tracked benchmark series -> BENCH_importance.json + BENCH_whatif.json
 

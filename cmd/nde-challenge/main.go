@@ -5,7 +5,11 @@
 //
 // Usage:
 //
-//	nde-challenge [-n 300] [-seed 42] [-budget 30] [-interactive]
+//	nde-challenge [-n 300] [-seed 42] [-budget 30] [-interactive] [telemetry flags]
+//
+// The shared telemetry flags (-metrics, -trace, -ledger, -slowspan, -ops,
+// -ops-pprof, -ops-wait; see internal/obs/ops) enable observability for
+// the run.
 //
 // Interactive commands (stdin):
 //
@@ -29,7 +33,7 @@ import (
 	"nde/internal/datagen"
 	"nde/internal/exp"
 	"nde/internal/importance"
-	"nde/internal/obs"
+	"nde/internal/obs/ops"
 )
 
 func main() {
@@ -47,23 +51,22 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	seed := fs.Int64("seed", 42, "random seed")
 	budget := fs.Int("budget", 30, "oracle repair budget")
 	interactive := fs.Bool("interactive", false, "play on stdin instead of running scripted contestants")
-	metrics := fs.String("metrics", "", "dump metrics to this file on exit (Prometheus text; JSON when the path ends in .json)")
-	trace := fs.String("trace", "", "dump the span trace tree to this file on exit")
+	tf := ops.BindFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	if *metrics != "" || *trace != "" {
-		obs.Enable()
+	sess, err := tf.Start("nde-challenge", os.Stderr)
+	if err != nil {
+		return err
 	}
-	var err error
 	if *interactive {
 		err = playInteractive(*n, *seed, *budget, in, out)
 	} else {
 		err = runScripted(*n, *seed, out)
 	}
-	if derr := obs.DumpFiles(*metrics, *trace); derr != nil && err == nil {
-		err = derr
+	if cerr := sess.Close(); cerr != nil && err == nil {
+		err = cerr
 	}
 	return err
 }

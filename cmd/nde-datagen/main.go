@@ -5,7 +5,11 @@
 //
 // Usage:
 //
-//	nde-datagen -dir ./data [-n 300] [-seed 42] [-flip 0.1] [-missing 0.2]
+//	nde-datagen -dir ./data [-n 300] [-seed 42] [-flip 0.1] [-missing 0.2] [telemetry flags]
+//
+// The shared telemetry flags (-metrics, -trace, -ledger, -slowspan, -ops,
+// -ops-pprof, -ops-wait; see internal/obs/ops) enable observability for
+// the run.
 package main
 
 import (
@@ -16,6 +20,7 @@ import (
 
 	"nde/internal/datagen"
 	"nde/internal/obs"
+	"nde/internal/obs/ops"
 )
 
 func main() {
@@ -34,18 +39,18 @@ func run(args []string, out io.Writer) error {
 	seed := fs.Int64("seed", 42, "random seed")
 	flip := fs.Float64("flip", 0, "fraction of sentiment labels to flip")
 	missing := fs.Float64("missing", 0, "fraction of employer_rating values to null out (MNAR)")
-	metrics := fs.String("metrics", "", "dump metrics to this file on exit (Prometheus text; JSON when the path ends in .json)")
-	trace := fs.String("trace", "", "dump the span trace tree to this file on exit")
+	tf := ops.BindFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	if *metrics != "" || *trace != "" {
-		obs.Enable()
+	sess, err := tf.Start("nde-datagen", os.Stderr)
+	if err != nil {
+		return err
 	}
-	err := generate(*dir, *n, *seed, *flip, *missing, out)
-	if derr := obs.DumpFiles(*metrics, *trace); derr != nil && err == nil {
-		err = derr
+	err = generate(*dir, *n, *seed, *flip, *missing, out)
+	if cerr := sess.Close(); cerr != nil && err == nil {
+		err = cerr
 	}
 	return err
 }

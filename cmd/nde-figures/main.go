@@ -3,7 +3,11 @@
 //
 // Usage:
 //
-//	nde-figures [-n 300] [-seed 42] [-only E3] [-replicates 5]
+//	nde-figures [-n 300] [-seed 42] [-only E3] [-replicates 5] [telemetry flags]
+//
+// The shared telemetry flags (-metrics, -trace, -ledger, -slowspan, -ops,
+// -ops-pprof, -ops-wait; see internal/obs/ops) enable observability for
+// the run.
 package main
 
 import (
@@ -15,6 +19,7 @@ import (
 
 	"nde/internal/exp"
 	"nde/internal/obs"
+	"nde/internal/obs/ops"
 )
 
 func main() {
@@ -32,18 +37,18 @@ func run(args []string, out io.Writer) error {
 	seed := fs.Int64("seed", 42, "random seed")
 	only := fs.String("only", "", "run a single experiment id (e.g. E3); empty = all")
 	replicates := fs.Int("replicates", 1, "run each experiment with this many consecutive seeds (concurrently when >1)")
-	metrics := fs.String("metrics", "", "dump metrics to this file on exit (Prometheus text; JSON when the path ends in .json)")
-	trace := fs.String("trace", "", "dump the span trace tree to this file on exit")
+	tf := ops.BindFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	if *metrics != "" || *trace != "" {
-		obs.Enable()
+	sess, err := tf.Start("nde-figures", os.Stderr)
+	if err != nil {
+		return err
 	}
-	err := runExperiments(*n, *seed, *replicates, *only, out)
-	if derr := obs.DumpFiles(*metrics, *trace); derr != nil && err == nil {
-		err = derr
+	err = runExperiments(*n, *seed, *replicates, *only, out)
+	if cerr := sess.Close(); cerr != nil && err == nil {
+		err = cerr
 	}
 	return err
 }

@@ -4,16 +4,20 @@
 //
 // Usage:
 //
-//	nde-pipeline [-n 300] [-seed 42] [-dot] [-data dir] [-metrics out.prom] [-trace out.txt]
+//	nde-pipeline [-n 300] [-seed 42] [-dot] [-data dir] [telemetry flags]
 //
 // With -data, the scenario tables are loaded from CSV files previously
 // written by nde-datagen instead of being regenerated; malformed or
-// corrupted CSVs are reported as errors, never panics. With -metrics
-// and/or -trace, observability is enabled for the run: the metrics
-// registry is dumped to the given file on exit (Prometheus text format, or
-// JSON when the path ends in .json), the span tree — one span per pipeline
-// operator with rows in/out and wall time — goes to the trace file, and
-// the printed query plan is annotated with per-operator costs.
+// corrupted CSVs are reported as errors, never panics.
+//
+// The shared telemetry flags (see internal/obs/ops) enable observability
+// for the run: -metrics and -trace dump the registry and span tree on
+// exit (Chrome trace JSON when the trace path ends in .json), -ledger
+// appends one structured JSONL record per facade call, -slowspan warns
+// about slow spans, and -ops serves /metrics, /healthz, /readyz and
+// /trace live over HTTP while the run executes (-ops-pprof adds
+// /debug/pprof/*; -ops-wait keeps the server up after the run until
+// interrupted). Interrupting a run mid-flight still flushes every dump.
 package main
 
 import (
@@ -24,7 +28,7 @@ import (
 
 	"nde"
 	"nde/internal/datagen"
-	"nde/internal/obs"
+	"nde/internal/obs/ops"
 	"nde/internal/pipeline"
 )
 
@@ -43,18 +47,18 @@ func run(args []string, out io.Writer) error {
 	seed := fs.Int64("seed", 42, "random seed")
 	dot := fs.Bool("dot", false, "also print the Graphviz dot form of the plan")
 	data := fs.String("data", "", "load scenario tables from CSVs in this directory instead of generating them")
-	metrics := fs.String("metrics", "", "dump metrics to this file on exit (Prometheus text; JSON when the path ends in .json)")
-	trace := fs.String("trace", "", "dump the span trace tree to this file on exit")
+	tf := ops.BindFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	if *metrics != "" || *trace != "" {
-		obs.Enable()
+	sess, err := tf.Start("nde-pipeline", os.Stderr)
+	if err != nil {
+		return err
 	}
-	err := pipelineReport(*n, *seed, *dot, *data, out)
-	if derr := obs.DumpFiles(*metrics, *trace); derr != nil && err == nil {
-		err = derr
+	err = pipelineReport(*n, *seed, *dot, *data, out)
+	if cerr := sess.Close(); cerr != nil && err == nil {
+		err = cerr
 	}
 	return err
 }

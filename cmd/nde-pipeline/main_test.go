@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"math"
 	"os"
@@ -12,6 +13,7 @@ import (
 	"nde"
 	"nde/internal/datagen"
 	"nde/internal/frame"
+	"nde/internal/obs"
 )
 
 func TestRunCleanSynthetic(t *testing.T) {
@@ -84,5 +86,65 @@ func TestRunRejectsNaNRatingsCSV(t *testing.T) {
 	}
 	if !errors.Is(err, nde.ErrDegenerateInput) {
 		t.Errorf("error is not in the ErrDegenerateInput family: %v", err)
+	}
+}
+
+// One full telemetry run: live ops server, ledger, and dump files all
+// driven through the real flag surface.
+func TestRunWithTelemetrySession(t *testing.T) {
+	defer obs.Disable()
+	dir := t.TempDir()
+	ledger := filepath.Join(dir, "run.jsonl")
+	metrics := filepath.Join(dir, "out.prom")
+	trace := filepath.Join(dir, "trace.json")
+	var out bytes.Buffer
+	err := run([]string{
+		"-n", "120", "-seed", "1",
+		"-ops", "127.0.0.1:0",
+		"-ledger", ledger,
+		"-metrics", metrics,
+		"-trace", trace,
+	}, &out)
+	if err != nil {
+		t.Fatalf("telemetry run: %v", err)
+	}
+
+	lb, err := os.ReadFile(ledger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(lb)), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("ledger has %d lines, want header + ops:\n%s", len(lines), lb)
+	}
+	var header map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &header); err != nil {
+		t.Fatalf("bad header line: %v", err)
+	}
+	if header["t"] != "header" || header["cmd"] != "nde-pipeline" {
+		t.Errorf("header = %v", header)
+	}
+	var ops []string
+	for _, line := range lines[1:] {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad ledger line %q: %v", line, err)
+		}
+		if op, _ := rec["op"].(string); op != "" {
+			ops = append(ops, op)
+		}
+	}
+	joined := strings.Join(ops, ",")
+	for _, want := range []string{"BuildHiringPipeline", "WithProvenance"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("ledger ops %v missing %q", ops, want)
+		}
+	}
+
+	if mb, err := os.ReadFile(metrics); err != nil || !strings.Contains(string(mb), "pipeline_memo_misses_total") {
+		t.Errorf("metrics dump missing memo counter: %v", err)
+	}
+	if tb, err := os.ReadFile(trace); err != nil || !strings.Contains(string(tb), `"traceEvents"`) {
+		t.Errorf("chrome trace dump missing: %v", err)
 	}
 }

@@ -2,6 +2,7 @@ package nde
 
 import (
 	"fmt"
+	"time"
 
 	"nde/internal/challenge"
 	"nde/internal/cleaning"
@@ -51,7 +52,8 @@ func WhatIf(ft *Featurized, variants []RemovalVariant, valid *Dataset) ([]WhatIf
 // WhatIfParallel is WhatIf with an explicit worker count (<= 0 = automatic,
 // 1 = serial). Every worker count yields identical results; the knob only
 // trades latency for CPU.
-func WhatIfParallel(ft *Featurized, variants []RemovalVariant, valid *Dataset, workers int) ([]WhatIfResult, error) {
+func WhatIfParallel(ft *Featurized, variants []RemovalVariant, valid *Dataset, workers int) (_ []WhatIfResult, err error) {
+	defer recordOp("WhatIfParallel", time.Now(), len(variants), workers, &err)
 	if ft == nil || ft.Data == nil {
 		return nil, nderr.Empty("nde: featurized pipeline output is nil")
 	}
@@ -68,13 +70,15 @@ func WhatIfParallel(ft *Featurized, variants []RemovalVariant, valid *Dataset, w
 // for concurrent use; in-flight computations keep their own reference and
 // finish unaffected.
 func ResetNeighborIndexCache() {
+	defer recordOp("ResetNeighborIndexCache", time.Now(), 0, 0, nil)
 	importance.ResetNeighborIndexCache()
 }
 
 // SelfConfidenceScores ranks training examples by out-of-fold predicted
 // probability of their own label (confident learning); low scores indicate
 // likely label errors.
-func SelfConfidenceScores(train *Dataset, seed int64) (Scores, error) {
+func SelfConfidenceScores(train *Dataset, seed int64) (_ Scores, err error) {
+	defer recordOp("SelfConfidenceScores", time.Now(), datasetRows(train), 0, &err)
 	if err := checkTrainable("train", train); err != nil {
 		return nil, err
 	}
@@ -83,7 +87,8 @@ func SelfConfidenceScores(train *Dataset, seed int64) (Scores, error) {
 
 // MarginScores ranks training examples by the out-of-fold margin between
 // their label's probability and the best other class (AUM-style).
-func MarginScores(train *Dataset, seed int64) (Scores, error) {
+func MarginScores(train *Dataset, seed int64) (_ Scores, err error) {
+	defer recordOp("MarginScores", time.Now(), datasetRows(train), 0, &err)
 	if err := checkTrainable("train", train); err != nil {
 		return nil, err
 	}
@@ -93,7 +98,8 @@ func MarginScores(train *Dataset, seed int64) (Scores, error) {
 // InfluenceScores computes influence-function importance for a logistic
 // model: the approximate change in validation loss caused by removing each
 // training point. Harmful points score negative.
-func InfluenceScores(train, valid *Dataset) (Scores, error) {
+func InfluenceScores(train, valid *Dataset) (_ Scores, err error) {
+	defer recordOp("InfluenceScores", time.Now(), datasetRows(train), 0, &err)
 	if err := checkTrainable("train", train); err != nil {
 		return nil, err
 	}
@@ -106,7 +112,8 @@ func InfluenceScores(train, valid *Dataset) (Scores, error) {
 // DataShapleyScores estimates Monte-Carlo (TMC) Data Shapley values with
 // the default kNN utility — the expensive general-purpose estimator, for
 // when the model under debugging is not a kNN.
-func DataShapleyScores(train, valid *Dataset, permutations int, seed int64) (Scores, error) {
+func DataShapleyScores(train, valid *Dataset, permutations int, seed int64) (_ Scores, err error) {
+	defer recordOp("DataShapleyScores", time.Now(), datasetRows(train), 0, &err)
 	if err := checkTrainable("train", train); err != nil {
 		return nil, err
 	}
@@ -127,7 +134,8 @@ func DataShapleyScores(train, valid *Dataset, permutations int, seed int64) (Sco
 // IterativeCleaning runs the prioritized cleaning loop with ground-truth
 // label repairs: rank with kNN-Shapley, clean batches, retrain, repeat
 // until the budget is spent. truth supplies the hidden correct labels.
-func IterativeCleaning(train, valid, test *Dataset, truth []int, batch, budget int) (*CleaningResult, error) {
+func IterativeCleaning(train, valid, test *Dataset, truth []int, batch, budget int) (_ *CleaningResult, err error) {
+	defer recordOp("IterativeCleaning", time.Now(), datasetRows(train), 0, &err)
 	if err := checkTrainable("train", train); err != nil {
 		return nil, err
 	}
@@ -153,7 +161,8 @@ func IterativeCleaning(train, valid, test *Dataset, truth []int, batch, budget i
 // NewDebuggingChallenge builds a §3.2 challenge over featurized data: the
 // contestant sees dirty training data and a validation set, and submits row
 // ids to the oracle within the repair budget.
-func NewDebuggingChallenge(dirty *Dataset, truth []int, valid, hiddenTest *Dataset, budget int) (*Challenge, error) {
+func NewDebuggingChallenge(dirty *Dataset, truth []int, valid, hiddenTest *Dataset, budget int) (_ *Challenge, err error) {
+	defer recordOp("NewDebuggingChallenge", time.Now(), datasetRows(dirty), 0, &err)
 	if err := checkDataset("dirty train", dirty); err != nil {
 		return nil, err
 	}
@@ -171,7 +180,8 @@ func NewDebuggingChallenge(dirty *Dataset, truth []int, valid, hiddenTest *Datas
 // removal most reduces the equalized-odds violation on the grouped
 // validation set. It returns the baseline violation and the top
 // explanations.
-func FairnessExplanations(train *Dataset, attrs *Frame, valid *Dataset, topK int) (float64, []Subgroup, error) {
+func FairnessExplanations(train *Dataset, attrs *Frame, valid *Dataset, topK int) (_ float64, _ []Subgroup, err error) {
+	defer recordOp("FairnessExplanations", time.Now(), datasetRows(train), 0, &err)
 	if err := checkTrainable("train", train); err != nil {
 		return 0, nil, err
 	}
@@ -190,7 +200,8 @@ func FairnessExplanations(train *Dataset, attrs *Frame, valid *Dataset, topK int
 // EstimateFairnessRange bounds the equalized-odds violation across the
 // possible worlds of symbolically uncertain training data (consistent range
 // approximation).
-func EstimateFairnessRange(train *SymbolicDataset, valid *Dataset, worlds int, seed int64) (*FairnessRange, error) {
+func EstimateFairnessRange(train *SymbolicDataset, valid *Dataset, worlds int, seed int64) (_ *FairnessRange, err error) {
+	defer recordOp("EstimateFairnessRange", time.Now(), datasetRows(valid), 0, &err)
 	if train == nil {
 		return nil, nderr.Empty("nde: symbolic training set is nil")
 	}
@@ -202,7 +213,8 @@ func EstimateFairnessRange(train *SymbolicDataset, valid *Dataset, worlds int, s
 
 // NewRAGCorpus embeds a document corpus for retrieval-augmented inference
 // with per-document importance debugging.
-func NewRAGCorpus(docs []string, labels []int) (*RAGCorpus, error) {
+func NewRAGCorpus(docs []string, labels []int) (_ *RAGCorpus, err error) {
+	defer recordOp("NewRAGCorpus", time.Now(), len(docs), 0, &err)
 	if len(docs) == 0 {
 		return nil, nderr.Empty("nde: document corpus")
 	}
@@ -215,7 +227,8 @@ func NewRAGCorpus(docs []string, labels []int) (*RAGCorpus, error) {
 // ScreenTrainTestLeakage checks two letter frames for overlapping person
 // ids — the most common data-leakage bug in split construction. It returns
 // human-readable issues (empty = clean).
-func ScreenTrainTestLeakage(train, test *Frame) ([]string, error) {
+func ScreenTrainTestLeakage(train, test *Frame) (_ []string, err error) {
+	defer recordOp("ScreenTrainTestLeakage", time.Now(), frameRows(train), 0, &err)
 	if err := checkFrame("train", train, "person_id"); err != nil {
 		return nil, err
 	}

@@ -1,6 +1,9 @@
 package obs
 
-import "testing"
+import (
+	"testing"
+	"time"
+)
 
 // BenchmarkNoopInstrumentation measures the disabled-mode cost of the full
 // instrumentation pattern used on the hot paths. It must report 0 B/op and
@@ -15,6 +18,20 @@ func BenchmarkNoopInstrumentation(b *testing.B) {
 		SetGauge("workers", 8)
 		Observe("latency_seconds", 0.1)
 		sp.End()
+	}
+}
+
+// BenchmarkNoopLedgerRecord measures the cost of a facade-level ledger
+// record when no ledger is installed: a single atomic pointer load. It
+// must report 0 B/op and 0 allocs/op — the run-ledger extension of the
+// no-op contract.
+func BenchmarkNoopLedgerRecord(b *testing.B) {
+	if prev := SetLedger(nil); prev != nil {
+		defer SetLedger(prev)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		RecordOp("nde.WhatIf", time.Millisecond, 100, 4, "hit", "")
 	}
 }
 

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"strconv"
+	"time"
+)
+
+// chromeEvent is one Trace Event Format entry. Spans map to "complete"
+// events (ph "X"): a name, a start timestamp, and a duration, both in
+// microseconds, plus arbitrary string args. The format is consumed by
+// chrome://tracing and by Perfetto's legacy JSON importer.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"` // microseconds since trace start
+	Dur  float64           `json:"dur"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON object form of the trace file (the bare-array
+// form is also legal, but the object form allows metadata).
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace exports the span forest in Chrome trace-event JSON:
+// one complete event per span with the span's attributes — and its
+// allocation deltas, when captured — as args. Each root tree gets its own
+// tid so concurrent root spans land on separate tracks. Open spans (not
+// yet ended, e.g. when exporting mid-run via the ops plane's /trace
+// endpoint) are emitted with their duration so far and an "open":"true"
+// arg. An empty tracer yields a valid file with zero events. The walk
+// happens under the tracer lock, so exporting while spans are being
+// opened and closed is safe.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	now := time.Now()
+	out := chromeTrace{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+
+	t.mu.Lock()
+	var base time.Time
+	for _, root := range t.roots {
+		if base.IsZero() || root.start.Before(base) {
+			base = root.start
+		}
+	}
+	for tid, root := range t.roots {
+		out.TraceEvents = appendChromeEvents(out.TraceEvents, root, base, now, tid+1)
+	}
+	t.mu.Unlock()
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+func appendChromeEvents(evs []chromeEvent, s *Span, base, now time.Time, tid int) []chromeEvent {
+	ev := chromeEvent{
+		Name: s.name,
+		Ph:   "X",
+		Ts:   float64(s.start.Sub(base)) / float64(time.Microsecond),
+		Pid:  1,
+		Tid:  tid,
+	}
+	if s.ended {
+		ev.Dur = float64(s.wall) / float64(time.Microsecond)
+	} else {
+		ev.Dur = float64(now.Sub(s.start)) / float64(time.Microsecond)
+	}
+	if ev.Dur < 0 {
+		ev.Dur = 0
+	}
+	n := len(s.attrs)
+	if s.allocs > 0 || s.bytes > 0 || !s.ended {
+		n += 3
+	}
+	if n > 0 {
+		ev.Args = make(map[string]string, n)
+		for _, a := range s.attrs {
+			ev.Args[a.Key] = a.Val
+		}
+		if s.allocs > 0 || s.bytes > 0 {
+			ev.Args["allocs"] = strconv.FormatUint(s.allocs, 10)
+			ev.Args["alloc_bytes"] = strconv.FormatUint(s.bytes, 10)
+		}
+		if !s.ended {
+			ev.Args["open"] = "true"
+		}
+	}
+	evs = append(evs, ev)
+	for _, c := range s.children {
+		evs = appendChromeEvents(evs, c, base, now, tid)
+	}
+	return evs
+}

@@ -10,7 +10,9 @@ import (
 // is the implementation behind the cmd binaries' -metrics/-trace flags.
 // An empty path skips that dump. The metrics file is Prometheus text
 // format unless the path ends in .json, in which case it is the JSON
-// export. The trace file is the indented span tree.
+// export. The trace file is the indented span tree — or, when the path
+// ends in .json, Chrome trace-event JSON loadable by chrome://tracing and
+// Perfetto.
 func DumpFiles(metricsPath, tracePath string) error {
 	if metricsPath != "" {
 		var b strings.Builder
@@ -28,8 +30,16 @@ func DumpFiles(metricsPath, tracePath string) error {
 		}
 	}
 	if tracePath != "" {
-		tree := defaultTracer.Render()
-		if err := os.WriteFile(tracePath, []byte(tree+"\n"), 0o644); err != nil {
+		var b strings.Builder
+		if strings.HasSuffix(tracePath, ".json") {
+			if err := defaultTracer.WriteChromeTrace(&b); err != nil {
+				return fmt.Errorf("obs: encoding trace: %w", err)
+			}
+		} else {
+			b.WriteString(defaultTracer.Render())
+			b.WriteByte('\n')
+		}
+		if err := os.WriteFile(tracePath, []byte(b.String()), 0o644); err != nil {
 			return fmt.Errorf("obs: writing trace: %w", err)
 		}
 	}

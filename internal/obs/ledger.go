@@ -1,0 +1,256 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LedgerSchemaVersion identifies the JSONL record layout; bump it when a
+// field changes meaning. Consumers should skip records with a newer
+// version than they understand.
+const LedgerSchemaVersion = 1
+
+// LedgerRecord is one line of the run ledger — an append-only JSONL event
+// stream describing a run at facade-call granularity. Three record types
+// share the struct:
+//
+//   - "header": written once when the ledger opens; carries run metadata
+//     (cmd, Go version, GOMAXPROCS, git SHA, pid, start time).
+//   - "op": one record per facade call — op name, wall-clock duration,
+//     row count, worker count, neighbor-index cache outcome, and the
+//     nderr sentinel class when the call failed ("" / omitted = success).
+//   - "slow_span": a warning emitted by Span.End when a span exceeds the
+//     configured slow-span threshold.
+//
+// Unused fields are omitted from the JSON, so each line stays compact.
+type LedgerRecord struct {
+	Type string `json:"t"`
+	Time string `json:"time,omitempty"` // RFC3339Nano UTC, stamped on Append
+
+	// op / slow_span fields
+	Op      string  `json:"op,omitempty"`
+	MS      float64 `json:"ms,omitempty"`
+	Rows    int     `json:"rows,omitempty"`
+	Workers int     `json:"workers,omitempty"`
+	Cache   string  `json:"cache,omitempty"` // "hit" | "miss" | ""
+	Err     string  `json:"err,omitempty"`   // nderr class; "" = success
+	// slow_span only: the threshold that was exceeded
+	ThresholdMS float64 `json:"threshold_ms,omitempty"`
+
+	// header fields
+	V          int    `json:"v,omitempty"`
+	Cmd        string `json:"cmd,omitempty"`
+	Go         string `json:"go,omitempty"`
+	GOMAXPROCS int    `json:"gomaxprocs,omitempty"`
+	Git        string `json:"git,omitempty"`
+	PID        int    `json:"pid,omitempty"`
+	Start      string `json:"start,omitempty"`
+}
+
+// LedgerMeta is the run metadata stamped into the header record.
+type LedgerMeta struct {
+	// Cmd names the producing binary ("nde-pipeline", "bench", ...).
+	Cmd string
+	// Git is the current commit SHA; leave empty to auto-detect via
+	// GitSHA().
+	Git string
+}
+
+// Ledger appends LedgerRecords as JSONL to an underlying writer. Appends
+// are serialized by a mutex and each record is written in a single Write
+// call, so concurrent producers never interleave partial lines and a
+// killed process leaves at worst a truncated final line, never corrupted
+// earlier ones. The zero value is not usable; use NewLedger or OpenLedger.
+type Ledger struct {
+	mu     sync.Mutex
+	w      io.Writer
+	closer io.Closer // non-nil when the ledger owns the file
+	err    error     // first write error; later appends are dropped
+}
+
+// NewLedger wraps w in a ledger and writes the header record. The caller
+// keeps ownership of w (Close does not close it).
+func NewLedger(w io.Writer, meta LedgerMeta) *Ledger {
+	l := &Ledger{w: w}
+	l.writeHeader(meta)
+	return l
+}
+
+// OpenLedger creates (truncating) the JSONL file at path and writes the
+// header record. Close closes the file.
+func OpenLedger(path string, meta LedgerMeta) (*Ledger, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: opening ledger: %w", err)
+	}
+	l := &Ledger{w: f, closer: f}
+	l.writeHeader(meta)
+	return l, nil
+}
+
+func (l *Ledger) writeHeader(meta LedgerMeta) {
+	git := meta.Git
+	if git == "" {
+		git = GitSHA()
+	}
+	l.Append(LedgerRecord{
+		Type:       "header",
+		V:          LedgerSchemaVersion,
+		Cmd:        meta.Cmd,
+		Go:         runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Git:        git,
+		PID:        os.Getpid(),
+		Start:      time.Now().UTC().Format(time.RFC3339Nano),
+	})
+}
+
+// Append writes one record as a single JSONL line, stamping rec.Time if
+// unset. Append never fails the caller: the first write error is stored
+// and subsequent records are silently dropped (telemetry must not take
+// down the run it observes); Close reports it.
+func (l *Ledger) Append(rec LedgerRecord) {
+	if l == nil {
+		return
+	}
+	if rec.Time == "" && rec.Type != "header" {
+		rec.Time = time.Now().UTC().Format(time.RFC3339Nano)
+	}
+	line, err := json.Marshal(rec)
+	if err != nil { // unreachable for this struct; defensive
+		return
+	}
+	line = append(line, '\n')
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return
+	}
+	if _, err := l.w.Write(line); err != nil {
+		l.err = fmt.Errorf("obs: ledger write: %w", err)
+	}
+}
+
+// Close releases the underlying file (when the ledger owns one) and
+// returns the first write error encountered, if any. Safe to call twice.
+func (l *Ledger) Close() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	err := l.err
+	if l.closer != nil {
+		if cerr := l.closer.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("obs: closing ledger: %w", cerr)
+		}
+		l.closer = nil
+	}
+	return err
+}
+
+// activeLedger is the process-wide ledger that RecordOp and the slow-span
+// hook write to; nil means disabled. A single atomic pointer load keeps
+// the disabled path allocation-free, mirroring the Enabled() contract.
+var activeLedger atomic.Pointer[Ledger]
+
+// SetLedger installs l as the process-wide run ledger (nil disables).
+// The previous ledger, if any, is returned so the caller can Close it.
+func SetLedger(l *Ledger) *Ledger { return activeLedger.Swap(l) }
+
+// ActiveLedger returns the installed run ledger, or nil when disabled.
+// It is a single atomic load, safe to call on hot paths.
+func ActiveLedger() *Ledger { return activeLedger.Load() }
+
+// RecordOp appends one "op" record to the active ledger. No-op (and
+// allocation-free) when no ledger is installed, so facade entry points can
+// call it unconditionally.
+func RecordOp(op string, d time.Duration, rows, workers int, cache, errClass string) {
+	l := ActiveLedger()
+	if l == nil {
+		return
+	}
+	l.Append(LedgerRecord{
+		Type:    "op",
+		Op:      op,
+		MS:      durMS(d),
+		Rows:    rows,
+		Workers: workers,
+		Cache:   cache,
+		Err:     errClass,
+	})
+}
+
+// slowSpanNanos is the slow-span warning threshold; 0 disables the hook.
+var slowSpanNanos atomic.Int64
+
+// SetSlowSpanThreshold configures the slow-span log: any span whose wall
+// time reaches d emits a "slow_span" warning record into the active run
+// ledger when it ends. d <= 0 disables the hook.
+func SetSlowSpanThreshold(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	slowSpanNanos.Store(int64(d))
+}
+
+// maybeRecordSlowSpan is called from Span.End for every real (non-noop)
+// span. The common path — no threshold configured — is one atomic load.
+func maybeRecordSlowSpan(name string, wall time.Duration) {
+	th := slowSpanNanos.Load()
+	if th <= 0 || wall < time.Duration(th) {
+		return
+	}
+	l := ActiveLedger()
+	if l == nil {
+		return
+	}
+	l.Append(LedgerRecord{
+		Type:        "slow_span",
+		Op:          name,
+		MS:          durMS(wall),
+		ThresholdMS: durMS(time.Duration(th)),
+	})
+}
+
+// durMS converts a duration to fractional milliseconds for JSON.
+func durMS(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// GitSHA best-effort resolves the current commit without shelling out: it
+// walks up from the working directory to the first .git/HEAD and follows
+// one level of symbolic ref. Returns "" when not in a git checkout (or in
+// exotic layouts like worktrees with packed refs), which the header
+// records as an absent field — telemetry stays best-effort.
+func GitSHA() string {
+	dir, err := os.Getwd()
+	if err != nil {
+		return ""
+	}
+	for {
+		head, err := os.ReadFile(filepath.Join(dir, ".git", "HEAD"))
+		if err == nil {
+			s := strings.TrimSpace(string(head))
+			if ref, ok := strings.CutPrefix(s, "ref: "); ok {
+				b, err := os.ReadFile(filepath.Join(dir, ".git", ref))
+				if err != nil {
+					return ""
+				}
+				return strings.TrimSpace(string(b))
+			}
+			return s
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return ""
+		}
+		dir = parent
+	}
+}

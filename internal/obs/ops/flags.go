@@ -1,0 +1,162 @@
+package ops
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"nde/internal/obs"
+)
+
+// Flags is the shared telemetry flag set every cmd binary exposes, so the
+// whole suite speaks one ops dialect: -metrics/-trace (dump-on-exit, as
+// before), -ledger (the run ledger), -slowspan (slow-span warnings), and
+// -ops/-ops-pprof/-ops-wait (the live HTTP plane).
+type Flags struct {
+	Ops      string
+	Pprof    bool
+	Wait     bool
+	Metrics  string
+	Trace    string
+	Ledger   string
+	SlowSpan time.Duration
+}
+
+// BindFlags registers the shared telemetry flags on fs and returns the
+// destination struct, valid after fs.Parse.
+func BindFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.Metrics, "metrics", "", "dump metrics to this file on exit (Prometheus text; JSON when the path ends in .json)")
+	fs.StringVar(&f.Trace, "trace", "", "dump the span trace to this file on exit (indented tree; Chrome trace JSON when the path ends in .json)")
+	fs.StringVar(&f.Ledger, "ledger", "", "append a structured run ledger (JSONL, one record per facade call) to this file")
+	fs.DurationVar(&f.SlowSpan, "slowspan", 0, "emit a ledger warning for spans slower than this (e.g. 500ms; 0 = off)")
+	fs.StringVar(&f.Ops, "ops", "", "serve live telemetry (/metrics /healthz /readyz /trace) on this address (e.g. :9090 or 127.0.0.1:0)")
+	fs.BoolVar(&f.Pprof, "ops-pprof", false, "also expose /debug/pprof/* on the -ops server")
+	fs.BoolVar(&f.Wait, "ops-wait", false, "after the run completes, keep the -ops server (and process) up until interrupted")
+	return f
+}
+
+// Active reports whether any telemetry flag was set — the condition for
+// enabling observability.
+func (f *Flags) Active() bool {
+	return f.Ops != "" || f.Metrics != "" || f.Trace != "" || f.Ledger != "" || f.SlowSpan > 0
+}
+
+// Session is the running telemetry for one cmd invocation: the optional
+// ops server, the optional run ledger, and a signal handler that flushes
+// both — plus the -metrics/-trace dump files — when the process is
+// interrupted mid-run, so partial runs still produce telemetry.
+type Session struct {
+	flags   *Flags
+	server  *Server
+	ledger  *obs.Ledger
+	stderr  io.Writer
+	waiting atomic.Bool
+	waitCh  chan struct{}
+	sigCh   chan os.Signal
+	once    sync.Once
+	downErr error
+}
+
+// Start enables observability when any flag is active, opens the ledger,
+// starts the ops server, and installs the interrupt flusher. It returns a
+// session whose Close performs the orderly teardown (dump files, close
+// ledger, stop server); on a no-flag run Start is a no-op and Close is
+// free. cmd names the binary in the ledger header; stderr receives the
+// one-line "serving telemetry on ADDR" notice (nil = os.Stderr).
+func (f *Flags) Start(cmd string, stderr io.Writer) (*Session, error) {
+	s := &Session{flags: f, stderr: stderr, waitCh: make(chan struct{}, 1)}
+	if s.stderr == nil {
+		s.stderr = os.Stderr
+	}
+	if !f.Active() {
+		return s, nil
+	}
+	obs.Enable()
+	if f.SlowSpan > 0 {
+		obs.SetSlowSpanThreshold(f.SlowSpan)
+	}
+	if f.Ledger != "" {
+		l, err := obs.OpenLedger(f.Ledger, obs.LedgerMeta{Cmd: cmd})
+		if err != nil {
+			return nil, err
+		}
+		s.ledger = l
+		obs.SetLedger(l)
+	}
+	if f.Ops != "" {
+		srv, err := Serve(f.Ops, Config{Pprof: f.Pprof})
+		if err != nil {
+			s.teardown()
+			return nil, err
+		}
+		s.server = srv
+		fmt.Fprintf(s.stderr, "ops: serving telemetry on %s\n", srv.Addr())
+	}
+	s.sigCh = make(chan os.Signal, 2)
+	signal.Notify(s.sigCh, os.Interrupt, syscall.SIGTERM)
+	go s.watchSignals()
+	return s, nil
+}
+
+// watchSignals flushes telemetry on interrupt. Mid-run, an interrupt is
+// fatal: flush everything and exit 130 (the shell convention for SIGINT).
+// In -ops-wait mode after the run finished, the first interrupt instead
+// hands control back to Close for a clean zero-exit teardown.
+func (s *Session) watchSignals() {
+	for range s.sigCh {
+		if s.waiting.Load() {
+			select {
+			case s.waitCh <- struct{}{}:
+			default:
+			}
+			continue
+		}
+		s.teardown()
+		os.Exit(130)
+	}
+}
+
+// Close ends the session: in -ops-wait mode it first blocks until the
+// process is interrupted, then (in all modes) dumps the -metrics/-trace
+// files, closes the ledger, and stops the ops server. It returns the
+// first teardown error.
+func (s *Session) Close() error {
+	if s.flags.Wait && s.server != nil {
+		fmt.Fprintf(s.stderr, "ops: run complete; telemetry stays on %s until interrupt\n", s.server.Addr())
+		s.waiting.Store(true)
+		<-s.waitCh
+	}
+	return s.teardown()
+}
+
+// teardown is the single shutdown path shared by Close and the signal
+// handler; sync.Once makes the race between them benign.
+func (s *Session) teardown() error {
+	s.once.Do(func() {
+		if s.sigCh != nil {
+			signal.Stop(s.sigCh) // no sends after Stop returns, so close is safe
+			close(s.sigCh)
+		}
+		err := obs.DumpFiles(s.flags.Metrics, s.flags.Trace)
+		if s.ledger != nil {
+			obs.SetLedger(nil)
+			if cerr := s.ledger.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
+		if s.server != nil {
+			if cerr := s.server.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
+		s.downErr = err
+	})
+	return s.downErr
+}

@@ -1,0 +1,136 @@
+// Package ops is the live operational telemetry plane: a stdlib net/http
+// handler set over internal/obs that a long-running process (or a cmd
+// run with -ops) mounts so metrics and traces are scrapeable while a run
+// is in flight, not only in a post-exit dump. It is the surface the
+// future nde-serve daemon embeds.
+//
+// Endpoints:
+//
+//	/metrics       Prometheus text exposition of the live registry
+//	/healthz       liveness: 200 "ok" as soon as the server is up
+//	/readyz        readiness: 200 when the Ready func says so, else 503
+//	/trace         Chrome trace-event JSON download of the span forest
+//	/debug/pprof/  Go profiling handlers (only when Config.Pprof is set)
+package ops
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"nde/internal/obs"
+)
+
+// Config selects what the handler set exposes. The zero value serves the
+// process-wide obs defaults with pprof off and readiness always true.
+type Config struct {
+	// Registry to scrape at /metrics; nil = obs.Default().
+	Registry *obs.Registry
+	// Tracer to export at /trace; nil = obs.DefaultTracer().
+	Tracer *obs.Tracer
+	// Pprof gates the /debug/pprof/* handlers. Off by default: profiling
+	// endpoints expose call stacks and should be an explicit opt-in.
+	Pprof bool
+	// Ready reports readiness for /readyz; nil = always ready. A server
+	// warming caches can flip this to shed load-balancer traffic.
+	Ready func() bool
+}
+
+func (c Config) registry() *obs.Registry {
+	if c.Registry != nil {
+		return c.Registry
+	}
+	return obs.Default()
+}
+
+func (c Config) tracer() *obs.Tracer {
+	if c.Tracer != nil {
+		return c.Tracer
+	}
+	return obs.DefaultTracer()
+}
+
+// Handler returns the ops-plane handler set on a fresh mux. It is safe to
+// serve while the observed run is mutating the registry and tracer.
+func Handler(cfg Config) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// Errors past the first byte are undetectable; WritePrometheus
+		// only fails on writer errors, which means the client went away.
+		_ = cfg.registry().WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if cfg.Ready != nil && !cfg.Ready() {
+			http.Error(w, "not ready", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", `attachment; filename="nde-trace.json"`)
+		_ = cfg.tracer().WriteChromeTrace(w)
+	})
+	if cfg.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+// Server is a running ops plane bound to a TCP address.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve binds addr (":0" picks a free port) and serves the ops handler
+// set in a background goroutine. The returned server reports its concrete
+// address via Addr and is torn down with Close.
+func Serve(addr string, cfg Config) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ops: listening on %s: %w", addr, err)
+	}
+	srv := &http.Server{
+		Handler:           Handler(cfg),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go func() {
+		// ErrServerClosed after Close is the clean-shutdown path; any
+		// other serve error means the ops plane died, which must not take
+		// down the run it observes.
+		_ = srv.Serve(ln)
+	}()
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound address, e.g. "127.0.0.1:43657".
+func (s *Server) Addr() string {
+	if s == nil || s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops accepting connections and closes active ones. Safe to call
+// on a nil server and safe to call twice.
+func (s *Server) Close() error {
+	if s == nil || s.srv == nil {
+		return nil
+	}
+	err := s.srv.Close()
+	s.srv = nil
+	return err
+}

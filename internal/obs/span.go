@@ -74,8 +74,8 @@ func (s *Span) StartChild(name string, attrs ...Attr) *Span {
 	c := &Span{tracer: s.tracer, name: name, attrs: attrs, parent: s, noAllocs: true}
 	s.tracer.mu.Lock()
 	s.children = append(s.children, c)
-	s.tracer.mu.Unlock()
 	c.start = time.Now()
+	s.tracer.mu.Unlock()
 	return c
 }
 
@@ -84,7 +84,9 @@ func (s *Span) SetStr(key, val string) *Span {
 	if s.tracer == nil {
 		return s
 	}
+	s.tracer.mu.Lock()
 	s.attrs = append(s.attrs, Attr{Key: key, Val: val})
+	s.tracer.mu.Unlock()
 	return s
 }
 
@@ -94,7 +96,10 @@ func (s *Span) SetInt(key string, val int64) *Span {
 	if s.tracer == nil {
 		return s
 	}
-	s.attrs = append(s.attrs, Attr{Key: key, Val: strconv.FormatInt(val, 10)})
+	v := strconv.FormatInt(val, 10)
+	s.tracer.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Val: v})
+	s.tracer.mu.Unlock()
 	return s
 }
 
@@ -103,20 +108,34 @@ func (s *Span) SetRows(in, out int) *Span {
 	return s.SetInt("rows_in", int64(in)).SetInt("rows_out", int64(out))
 }
 
-// End closes the span, recording wall time and allocation deltas.
+// End closes the span, recording wall time and allocation deltas. The
+// completion fields are written under the tracer lock so a live exporter
+// (the ops plane's /trace endpoint) can walk the tree mid-run without
+// racing. Spans whose duration exceeds the configured slow-span threshold
+// additionally emit a warning record into the active run ledger.
 func (s *Span) End() {
 	if s.tracer == nil || s.ended {
 		return
 	}
-	s.wall = time.Since(s.start)
-	if s.tracer.captureAllocs && !s.noAllocs {
+	wall := time.Since(s.start)
+	var allocs, bytes uint64
+	capture := !s.noAllocs && s.tracer.captureAllocsOn()
+	if capture {
 		var m runtime.MemStats
 		runtime.ReadMemStats(&m)
-		s.allocs = m.Mallocs - s.startAllocs
-		s.bytes = m.TotalAlloc - s.startBytes
+		allocs = m.Mallocs - s.startAllocs
+		bytes = m.TotalAlloc - s.startBytes
 	}
+	s.tracer.mu.Lock()
+	s.wall = wall
+	s.allocs = allocs
+	s.bytes = bytes
 	s.ended = true
-	s.tracer.end(s)
+	if s.tracer.cur == s {
+		s.tracer.cur = s.parent
+	}
+	s.tracer.mu.Unlock()
+	maybeRecordSlowSpan(s.name, wall)
 }
 
 // Name returns the span name ("" for the no-op span).
@@ -170,9 +189,17 @@ func (t *Tracer) CaptureAllocs(on bool) {
 }
 
 // StartSpan begins a span as a child of the innermost open span (or as a
-// new root).
+// new root). The span is published into the tree with its start time set
+// under the tracer lock, so concurrent exporters never observe a
+// half-initialized span.
 func (t *Tracer) StartSpan(name string, attrs ...Attr) *Span {
 	s := &Span{tracer: t, name: name, attrs: attrs}
+	if t.captureAllocsOn() {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		s.startAllocs = m.Mallocs
+		s.startBytes = m.TotalAlloc
+	}
 	t.mu.Lock()
 	s.parent = t.cur
 	if s.parent != nil {
@@ -181,24 +208,16 @@ func (t *Tracer) StartSpan(name string, attrs ...Attr) *Span {
 		t.roots = append(t.roots, s)
 	}
 	t.cur = s
-	capture := t.captureAllocs
-	t.mu.Unlock()
-	if capture {
-		var m runtime.MemStats
-		runtime.ReadMemStats(&m)
-		s.startAllocs = m.Mallocs
-		s.startBytes = m.TotalAlloc
-	}
 	s.start = time.Now()
+	t.mu.Unlock()
 	return s
 }
 
-func (t *Tracer) end(s *Span) {
+func (t *Tracer) captureAllocsOn() bool {
 	t.mu.Lock()
-	if t.cur == s {
-		t.cur = s.parent
-	}
+	on := t.captureAllocs
 	t.mu.Unlock()
+	return on
 }
 
 // Roots returns the completed and open root spans in start order.
@@ -218,12 +237,15 @@ func (t *Tracer) Reset() {
 
 // Render returns the span forest as a flame-style indented trace: one line
 // per span with wall time, allocation deltas and attributes, children
-// indented under their parent.
+// indented under their parent. The walk happens under the tracer lock so
+// it is safe while spans are still being opened and closed.
 func (t *Tracer) Render() string {
 	var b strings.Builder
-	for _, root := range t.Roots() {
+	t.mu.Lock()
+	for _, root := range t.roots {
 		renderSpan(&b, root, 0)
 	}
+	t.mu.Unlock()
 	return strings.TrimRight(b.String(), "\n")
 }
 

@@ -3,6 +3,7 @@ package nde
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"nde/internal/datagen"
 	"nde/internal/encode"
@@ -74,7 +75,12 @@ func LoadRecommendationLetters(n int, seed int64) *HiringScenario {
 // deterministic 60/20/20 letters split. Unlike LoadRecommendationLetters,
 // the tables come from the outside world, so degenerate ones (nil or empty
 // letters) are reported as errors.
-func ScenarioFromData(h *HiringData, seed int64) (*HiringScenario, error) {
+func ScenarioFromData(h *HiringData, seed int64) (_ *HiringScenario, err error) {
+	rows := 0
+	if h != nil {
+		rows = frameRows(h.Letters)
+	}
+	defer recordOp("ScenarioFromData", time.Now(), rows, 0, &err)
 	if h == nil {
 		return nil, nderr.Empty("nde: scenario data is nil")
 	}
@@ -111,17 +117,18 @@ func LetterFeaturizer() *encode.ColumnTransformer {
 // sentiment labels (negative=0, positive=1). The featurizer is fitted on
 // the given frame; to featurize several splits consistently use
 // FeaturizeLetterSplits.
-func FeaturizeLetters(f *Frame) (*Dataset, error) {
+func FeaturizeLetters(f *Frame) (_ *Dataset, err error) {
+	defer recordOp("FeaturizeLetters", time.Now(), frameRows(f), 0, &err)
 	if err := checkFrame("letters", f, "letter_text", "employer_rating", "sentiment"); err != nil {
 		return nil, err
 	}
-	ds, err := featurizeWith(LetterFeaturizer(), f, true)
-	return ds, err
+	return featurizeWith(LetterFeaturizer(), f, true)
 }
 
 // FeaturizeLetterSplits fits the default featurizer on train and applies it
 // to all three splits, the leakage-free protocol.
 func FeaturizeLetterSplits(train, valid, test *Frame) (dTrain, dValid, dTest *Dataset, err error) {
+	defer recordOp("FeaturizeLetterSplits", time.Now(), frameRows(train), 0, &err)
 	for _, s := range []struct {
 		what string
 		f    *Frame
@@ -178,7 +185,8 @@ func DefaultModel() Classifier { return ml.NewKNN(5) }
 // EvaluateModel featurizes train and test letters (fitting the encoder on
 // train), trains the default model, and returns test accuracy — the Go
 // analogue of nde.evaluate_model(train_df).
-func EvaluateModel(train, test *Frame) (float64, error) {
+func EvaluateModel(train, test *Frame) (_ float64, err error) {
+	defer recordOp("EvaluateModel", time.Now(), frameRows(train), 0, &err)
 	if err := checkFrame("train letters", train, "letter_text", "employer_rating", "sentiment"); err != nil {
 		return 0, err
 	}
@@ -200,7 +208,8 @@ func EvaluateModel(train, test *Frame) (float64, error) {
 // InjectLabelErrors flips the sentiment labels of a random fraction of
 // letters and reports which rows were corrupted — the Go analogue of
 // nde.inject_labelerrors(train_df, fraction=0.1).
-func InjectLabelErrors(f *Frame, fraction float64, seed int64) (*Frame, map[int]bool, error) {
+func InjectLabelErrors(f *Frame, fraction float64, seed int64) (_ *Frame, _ map[int]bool, err error) {
+	defer recordOp("InjectLabelErrors", time.Now(), frameRows(f), 0, &err)
 	if err := checkFrame("letters", f, "sentiment"); err != nil {
 		return nil, nil, err
 	}
@@ -212,7 +221,11 @@ func InjectLabelErrors(f *Frame, fraction float64, seed int64) (*Frame, map[int]
 // split — the Go analogue of nde.knn_shapley_values(train_df_err,
 // validation=valid_df). k <= 0 falls back to the default 5; k larger than
 // the training-set size is rejected with ErrBadK.
-func KNNShapleyValues(train, valid *Frame, k int) (Scores, error) {
+func KNNShapleyValues(train, valid *Frame, k int) (_ Scores, err error) {
+	cache := ""
+	defer recordOpCache("KNNShapleyValues", time.Now(), frameRows(train), &cache, &err)
+	outcome := indexCacheOutcome()
+	defer func() { cache = outcome() }()
 	if err := checkFrame("train letters", train, "letter_text", "employer_rating", "sentiment"); err != nil {
 		return nil, err
 	}
@@ -243,7 +256,8 @@ func KNNShapleyValues(train, valid *Frame, k int) (Scores, error) {
 // PrettyPrint renders the given rows of a frame as an aligned table — the
 // Go analogue of nde.pretty_print(train_df_err[lowest]). Out-of-range row
 // indices are reported as an error rather than panicking.
-func PrettyPrint(f *Frame, rows []int) (string, error) {
+func PrettyPrint(f *Frame, rows []int) (_ string, err error) {
+	defer recordOp("PrettyPrint", time.Now(), len(rows), 0, &err)
 	if f == nil {
 		return "", nderr.Empty("nde: frame is nil")
 	}
@@ -256,7 +270,8 @@ func PrettyPrint(f *Frame, rows []int) (string, error) {
 // PrettyPrintWithScores renders the given rows with an extra "importance"
 // column — the exact display of the tutorial's Figure 2, where the
 // suspicious letters appear next to their importance values.
-func PrettyPrintWithScores(f *Frame, rows []int, scores Scores) (string, error) {
+func PrettyPrintWithScores(f *Frame, rows []int, scores Scores) (_ string, err error) {
+	defer recordOp("PrettyPrintWithScores", time.Now(), len(rows), 0, &err)
 	if f == nil {
 		return "", nderr.Empty("nde: frame is nil")
 	}

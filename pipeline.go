@@ -2,6 +2,7 @@ package nde
 
 import (
 	"fmt"
+	"time"
 
 	"nde/internal/encode"
 	"nde/internal/frame"
@@ -31,7 +32,8 @@ type HiringPipeline struct {
 // validated up front (non-nil, non-empty, join and projection columns
 // present), so malformed inputs fail here with a wrapped error instead of
 // somewhere inside the join operators.
-func BuildHiringPipeline(letters *Frame, jobs, social *Frame) (*HiringPipeline, error) {
+func BuildHiringPipeline(letters *Frame, jobs, social *Frame) (_ *HiringPipeline, err error) {
+	defer recordOp("BuildHiringPipeline", time.Now(), frameRows(letters), 0, &err)
 	if err := checkFrame("letters", letters, "job_id", "person_id", "letter_text", "employer_rating", "sentiment"); err != nil {
 		return nil, err
 	}
@@ -79,7 +81,8 @@ func PipelineFeaturizer() *encode.ColumnTransformer {
 // per-row provenance — the Go analogue of nde.with_provenance(pipeline(...)).
 // The fitted encoder is stored on the receiver for consistent validation
 // featurization.
-func (h *HiringPipeline) WithProvenance() (*Featurized, error) {
+func (h *HiringPipeline) WithProvenance() (_ *Featurized, err error) {
+	defer recordOp("WithProvenance", time.Now(), h.TrainRows, 0, &err)
 	res, err := h.Pipeline.Run(h.Output)
 	if err != nil {
 		return nil, err
@@ -98,7 +101,11 @@ func (h *HiringPipeline) WithProvenance() (*Featurized, error) {
 // of nde.datascope(for=train_df_err, provenance=prov, validation=valid_df).
 // valid must live in the same feature space as ft.Data; use
 // FeaturizeValidationLike to build it.
-func (h *HiringPipeline) DatascopeScores(ft *Featurized, valid *Dataset, k int) (Scores, error) {
+func (h *HiringPipeline) DatascopeScores(ft *Featurized, valid *Dataset, k int) (_ Scores, err error) {
+	cache := ""
+	defer recordOpCache("DatascopeScores", time.Now(), h.TrainRows, &cache, &err)
+	outcome := indexCacheOutcome()
+	defer func() { cache = outcome() }()
 	if ft == nil || ft.Data == nil {
 		return nil, nderr.Empty("nde: featurized pipeline output is nil")
 	}
@@ -112,7 +119,8 @@ func (h *HiringPipeline) DatascopeScores(ft *Featurized, valid *Dataset, k int) 
 // provenance groups (fork-pipeline semantics; falls back to Monte Carlo
 // beyond 20 groups) — the exact counterpart of DatascopeScores' additive
 // aggregation.
-func (h *HiringPipeline) GroupShapleyScores(ft *Featurized, valid *Dataset, k int) (Scores, error) {
+func (h *HiringPipeline) GroupShapleyScores(ft *Featurized, valid *Dataset, k int) (_ Scores, err error) {
+	defer recordOp("GroupShapleyScores", time.Now(), h.TrainRows, 0, &err)
 	if ft == nil || ft.Data == nil {
 		return nil, nderr.Empty("nde: featurized pipeline output is nil")
 	}
@@ -126,7 +134,8 @@ func (h *HiringPipeline) GroupShapleyScores(ft *Featurized, valid *Dataset, k in
 // of the pipeline structure (joins and derived columns, without the sector
 // filter so all rows survive) and encodes it with the same fitted encoders
 // used for ft. The resulting dataset is comparable with ft.Data.
-func (h *HiringPipeline) FeaturizeValidationLike(valid *Frame, jobs, social *Frame, ct *encode.ColumnTransformer) (*Dataset, error) {
+func (h *HiringPipeline) FeaturizeValidationLike(valid *Frame, jobs, social *Frame, ct *encode.ColumnTransformer) (_ *Dataset, err error) {
+	defer recordOp("FeaturizeValidationLike", time.Now(), frameRows(valid), 0, &err)
 	if err := checkFrame("valid letters", valid, "job_id", "person_id", "letter_text", "employer_rating", "sentiment"); err != nil {
 		return nil, err
 	}
@@ -178,6 +187,7 @@ func (h *HiringPipeline) FeaturizeValidationLike(valid *Frame, jobs, social *Fra
 // training on all rows (negative = removal hurt) — the Go analogue of the
 // nde.evaluate_change(X_train, X_train_clean) snippet.
 func RemoveAndEvaluate(ft *Featurized, remove []int, valid *Dataset) (before, after float64, err error) {
+	defer recordOp("RemoveAndEvaluate", time.Now(), len(remove), 0, &err)
 	if ft == nil || ft.Data == nil {
 		return 0, 0, nderr.Empty("nde: featurized pipeline output is nil")
 	}

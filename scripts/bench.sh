@@ -1,7 +1,9 @@
 #!/bin/sh
 # bench.sh — run the tracked benchmark series with -benchmem and record
 # them as JSON (name, ns/op, allocs/op, B/op) so the perf trajectory is
-# tracked PR-over-PR. Two series are emitted: the importance/pipeline hot
+# tracked PR-over-PR. Each file carries a "meta" header (git SHA, Go
+# version, GOMAXPROCS, UTC date) so numbers from different machines and
+# commits stay comparable. Two series are emitted: the importance/pipeline hot
 # paths (BENCH_importance.json) and the what-if fan-out (BENCH_whatif.json).
 # `make bench` runs this.
 #
@@ -18,13 +20,24 @@ benchtime="${NDE_BENCHTIME:-1s}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
+git_sha="$(git rev-parse HEAD 2>/dev/null || echo unknown)"
+go_version="$(go version | awk '{print $3}')"
+gomaxprocs="${GOMAXPROCS:-$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)}"
+run_date="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+
 # run_bench FILTER OUTPUT — run one benchmark series and write its JSON
 run_bench() {
     echo "==> go test -bench '$1' -benchmem -benchtime $benchtime ."
     go test -run '^$' -bench "$1" -benchmem -benchtime "$benchtime" . | tee "$tmp"
 
-    awk '
-BEGIN { print "["; first = 1 }
+    awk -v git_sha="$git_sha" -v go_version="$go_version" \
+        -v gomaxprocs="$gomaxprocs" -v run_date="$run_date" '
+BEGIN {
+    printf "{\n"
+    printf "  \"meta\": {\"git_sha\": \"%s\", \"go_version\": \"%s\", \"gomaxprocs\": %s, \"date\": \"%s\"},\n", git_sha, go_version, gomaxprocs, run_date
+    print "  \"benchmarks\": ["
+    first = 1
+}
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)   # strip the -GOMAXPROCS suffix
@@ -37,12 +50,12 @@ BEGIN { print "["; first = 1 }
     if (ns == "") next
     if (!first) printf ",\n"
     first = 0
-    printf "  {\"name\": \"%s\", \"ns_per_op\": %s", name, ns
+    printf "    {\"name\": \"%s\", \"ns_per_op\": %s", name, ns
     if (bytes != "")  printf ", \"bytes_per_op\": %s", bytes
     if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
     printf "}"
 }
-END { print "\n]" }
+END { print "\n  ]\n}" }
 ' "$tmp" > "$2"
 
     echo "==> wrote $2"

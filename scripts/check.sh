@@ -36,6 +36,13 @@ if [ "${NDE_SKIP_STRESS:-0}" != "1" ]; then
     sh scripts/stress.sh quick
 fi
 
+# live ops plane smoke test: real HTTP scrape of a running binary plus a
+# clean interrupt shutdown. Skip with NDE_SKIP_SMOKE=1.
+if [ "${NDE_SKIP_SMOKE:-0}" != "1" ]; then
+    echo "==> scripts/ops_smoke.sh"
+    sh scripts/ops_smoke.sh
+fi
+
 # opt-in: record the tracked hot-path benchmarks (BENCH_importance.json)
 if [ "${NDE_BENCH:-0}" = "1" ]; then
     echo "==> scripts/bench.sh"

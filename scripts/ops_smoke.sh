@@ -1,0 +1,110 @@
+#!/bin/sh
+# ops_smoke.sh — end-to-end smoke test of the live ops plane: build
+# nde-pipeline, run it with -ops and -ops-wait, scrape /healthz, /metrics
+# and /trace over real HTTP while the server is up, then interrupt it and
+# assert a clean shutdown plus a well-formed run ledger. `make ops-smoke`
+# runs this; scripts/check.sh includes it unless NDE_SKIP_SMOKE=1.
+set -eu
+cd "$(dirname "$0")/.."
+
+tmp="$(mktemp -d)"
+pid=""
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+fetch() { # fetch URL — curl or wget, whichever exists
+    if command -v curl >/dev/null 2>&1; then
+        curl -fsS "$1"
+    else
+        wget -qO- "$1"
+    fi
+}
+
+echo "==> building nde-pipeline"
+go build -o "$tmp/nde-pipeline" ./cmd/nde-pipeline
+
+echo "==> starting nde-pipeline -ops 127.0.0.1:0 -ops-wait"
+"$tmp/nde-pipeline" -n 120 -seed 1 \
+    -ops 127.0.0.1:0 -ops-wait \
+    -ledger "$tmp/run.jsonl" \
+    >"$tmp/stdout" 2>"$tmp/stderr" &
+pid=$!
+
+# wait for the server address notice on stderr
+addr=""
+i=0
+while [ $i -lt 100 ]; do
+    addr="$(sed -n 's/^ops: serving telemetry on //p' "$tmp/stderr" | head -n1)"
+    [ -n "$addr" ] && break
+    if ! kill -0 "$pid" 2>/dev/null; then
+        echo "FAIL: nde-pipeline exited before serving" >&2
+        cat "$tmp/stderr" >&2
+        exit 1
+    fi
+    sleep 0.1
+    i=$((i + 1))
+done
+if [ -z "$addr" ]; then
+    echo "FAIL: no ops address on stderr after 10s" >&2
+    exit 1
+fi
+echo "    ops server at $addr"
+
+echo "==> GET /healthz"
+health="$(fetch "http://$addr/healthz")"
+case "$health" in
+*ok*) ;;
+*)
+    echo "FAIL: /healthz returned '$health'" >&2
+    exit 1
+    ;;
+esac
+
+echo "==> GET /metrics (expect pipeline_memo_misses_total)"
+i=0
+while [ $i -lt 100 ]; do
+    if fetch "http://$addr/metrics" >"$tmp/metrics" 2>/dev/null &&
+        grep -q '^pipeline_memo_misses_total ' "$tmp/metrics"; then
+        break
+    fi
+    sleep 0.1
+    i=$((i + 1))
+done
+grep '^pipeline_memo_misses_total ' "$tmp/metrics" || {
+    echo "FAIL: pipeline_memo_misses_total never appeared in /metrics" >&2
+    exit 1
+}
+
+echo "==> GET /trace (expect Chrome trace JSON)"
+fetch "http://$addr/trace" >"$tmp/trace.json"
+grep -q '"traceEvents"' "$tmp/trace.json" || {
+    echo "FAIL: /trace is not Chrome trace JSON" >&2
+    exit 1
+}
+
+echo "==> interrupting (clean -ops-wait shutdown)"
+kill -INT "$pid"
+status=0
+wait "$pid" || status=$?
+pid=""
+if [ "$status" -ne 0 ]; then
+    echo "FAIL: exit status $status after interrupt, want 0" >&2
+    cat "$tmp/stderr" >&2
+    exit 1
+fi
+
+echo "==> checking run ledger"
+head -n1 "$tmp/run.jsonl" | grep -q '"t":"header"' || {
+    echo "FAIL: ledger does not start with a header record" >&2
+    head -n3 "$tmp/run.jsonl" >&2
+    exit 1
+}
+grep -q '"op":"BuildHiringPipeline"' "$tmp/run.jsonl" || {
+    echo "FAIL: ledger has no BuildHiringPipeline op record" >&2
+    exit 1
+}
+
+echo "OK"

@@ -1,0 +1,263 @@
+package nde
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"nde/internal/nderr"
+	"nde/internal/obs"
+)
+
+// captureLedger installs a fresh in-memory ledger for one test and returns
+// a drain function yielding the decoded records (header excluded).
+func captureLedger(t *testing.T) func() []obs.LedgerRecord {
+	t.Helper()
+	var mu sync.Mutex
+	var buf strings.Builder
+	l := obs.NewLedger(lockedWriter{mu: &mu, w: &buf}, obs.LedgerMeta{Cmd: "telemetry-test"})
+	prev := obs.SetLedger(l)
+	t.Cleanup(func() {
+		obs.SetLedger(prev)
+		l.Close()
+	})
+	return func() []obs.LedgerRecord {
+		mu.Lock()
+		defer mu.Unlock()
+		var recs []obs.LedgerRecord
+		sc := bufio.NewScanner(strings.NewReader(buf.String()))
+		for sc.Scan() {
+			var r obs.LedgerRecord
+			if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+				t.Fatalf("corrupt ledger line %q: %v", sc.Text(), err)
+			}
+			if r.Type == "header" {
+				continue
+			}
+			recs = append(recs, r)
+		}
+		return recs
+	}
+}
+
+type lockedWriter struct {
+	mu *sync.Mutex
+	w  *strings.Builder
+}
+
+func (lw lockedWriter) Write(p []byte) (int, error) {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	return lw.w.Write(p)
+}
+
+// opsByName indexes op records by operation name.
+func opsByName(recs []obs.LedgerRecord) map[string][]obs.LedgerRecord {
+	out := map[string][]obs.LedgerRecord{}
+	for _, r := range recs {
+		if r.Type == "op" {
+			out[r.Op] = append(out[r.Op], r)
+		}
+	}
+	return out
+}
+
+// Every facade entry point appends exactly one op record per call — the
+// successful paths.
+func TestLedgerOneRecordPerFacadeCall(t *testing.T) {
+	drain := captureLedger(t)
+
+	s := LoadRecommendationLetters(60, 1)
+	if _, err := FeaturizeLetters(s.Train); err != nil {
+		t.Fatal(err)
+	}
+	dTrain, dValid, _, err := FeaturizeLetterSplits(s.Train, s.Valid, s.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EvaluateModel(s.Train, s.Test); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := InjectLabelErrors(s.Train, 0.1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := KNNShapleyValues(s.Train, s.Valid, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PrettyPrint(s.Train, []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SelfConfidenceScores(dTrain, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MarginScores(dTrain, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := InfluenceScores(dTrain, dValid); err != nil {
+		t.Fatal(err)
+	}
+
+	recs := drain()
+	byName := opsByName(recs)
+	wantOnce := []string{
+		// LoadRecommendationLetters delegates to ScenarioFromData; the
+		// inner op is the one recorded (one record per call, not two).
+		"ScenarioFromData",
+		"FeaturizeLetters", "FeaturizeLetterSplits", "EvaluateModel",
+		"InjectLabelErrors", "KNNShapleyValues", "PrettyPrint",
+		"SelfConfidenceScores", "MarginScores", "InfluenceScores",
+	}
+	for _, op := range wantOnce {
+		if got := len(byName[op]); got != 1 {
+			t.Errorf("op %q: %d records, want exactly 1", op, got)
+		}
+	}
+	if len(byName["LoadRecommendationLetters"]) != 0 {
+		t.Errorf("delegating wrapper LoadRecommendationLetters recorded its own op")
+	}
+	for _, r := range recs {
+		if r.Type != "op" {
+			continue
+		}
+		if r.Err != "" {
+			t.Errorf("op %q: unexpected error class %q on success", r.Op, r.Err)
+		}
+		if r.MS < 0 {
+			t.Errorf("op %q: negative duration %v", r.Op, r.MS)
+		}
+		if r.Time == "" {
+			t.Errorf("op %q: missing timestamp", r.Op)
+		}
+	}
+	if recs := byName["ScenarioFromData"]; len(recs) == 1 && recs[0].Rows != 60 {
+		t.Errorf("ScenarioFromData rows = %d, want 60", recs[0].Rows)
+	}
+}
+
+// Error outcomes are recorded too, tagged with the nderr sentinel class.
+func TestLedgerRecordsErrorOutcomes(t *testing.T) {
+	s := LoadRecommendationLetters(50, 1)
+	drain := captureLedger(t)
+
+	if _, err := FeaturizeLetters(nil); !errors.Is(err, nderr.ErrEmptyInput) {
+		t.Fatalf("FeaturizeLetters(nil) err = %v", err)
+	}
+	if _, err := KNNShapleyValues(s.Train, s.Valid, 10_000); !errors.Is(err, nderr.ErrBadK) {
+		t.Fatalf("KNNShapleyValues huge k err = %v", err)
+	}
+	if _, err := PrettyPrintWithScores(s.Train, []int{0}, Scores{1}); !errors.Is(err, nderr.ErrShapeMismatch) {
+		t.Fatalf("PrettyPrintWithScores err = %v", err)
+	}
+	if _, err := ScenarioFromData(nil, 1); !errors.Is(err, nderr.ErrEmptyInput) {
+		t.Fatalf("ScenarioFromData(nil) err = %v", err)
+	}
+
+	byName := opsByName(drain())
+	for op, wantClass := range map[string]string{
+		"FeaturizeLetters":      "empty_input",
+		"KNNShapleyValues":      "bad_k",
+		"PrettyPrintWithScores": "shape_mismatch",
+		"ScenarioFromData":      "empty_input",
+	} {
+		recs := byName[op]
+		if len(recs) != 1 {
+			t.Errorf("op %q: %d records, want 1", op, len(recs))
+			continue
+		}
+		if recs[0].Err != wantClass {
+			t.Errorf("op %q: error class %q, want %q", op, recs[0].Err, wantClass)
+		}
+	}
+}
+
+// errClass maps the whole nderr family (and foreign errors) correctly.
+func TestErrClassMapping(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{nil, ""},
+		{nderr.ErrNonFinite, "non_finite"},
+		{nderr.ErrEmptyInput, "empty_input"},
+		{nderr.ErrShapeMismatch, "shape_mismatch"},
+		{nderr.ErrSingleClass, "single_class"},
+		{nderr.ErrBadK, "bad_k"},
+		{nderr.ErrDegenerateInput, "degenerate_input"},
+		{fmt.Errorf("wrapped: %w", nderr.ErrBadK), "bad_k"},
+		{fmt.Errorf("wrapped root: %w", nderr.ErrDegenerateInput), "degenerate_input"},
+		{errors.New("io failure"), "error"},
+	}
+	for _, c := range cases {
+		if got := errClass(c.err); got != c.want {
+			t.Errorf("errClass(%v) = %q, want %q", c.err, got, c.want)
+		}
+	}
+}
+
+// The KNN-Shapley cache annotation: first call on a fresh geometry misses,
+// an identical second call hits.
+func TestLedgerCacheAnnotation(t *testing.T) {
+	if !obs.Enabled() {
+		obs.Enable()
+		defer obs.Disable()
+	}
+	ResetNeighborIndexCache()
+	drain := captureLedger(t)
+	s := LoadRecommendationLetters(55, 7)
+	if _, err := KNNShapleyValues(s.Train, s.Valid, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := KNNShapleyValues(s.Train, s.Valid, 3); err != nil {
+		t.Fatal(err)
+	}
+	recs := opsByName(drain())["KNNShapleyValues"]
+	if len(recs) != 2 {
+		t.Fatalf("got %d KNNShapleyValues records, want 2", len(recs))
+	}
+	if recs[0].Cache != "miss" {
+		t.Errorf("first call cache = %q, want miss", recs[0].Cache)
+	}
+	if recs[1].Cache != "hit" {
+		t.Errorf("second call cache = %q, want hit", recs[1].Cache)
+	}
+}
+
+// Toggling obs.Enable mid-run must not disturb ledger recording, and a
+// ledger installed mid-run starts recording cleanly (no partial lines).
+func TestLedgerMidRunEnableToggle(t *testing.T) {
+	drain := captureLedger(t)
+	s := LoadRecommendationLetters(40, 1)
+
+	obs.Enable()
+	if _, err := FeaturizeLetters(s.Train); err != nil {
+		t.Fatal(err)
+	}
+	obs.Disable()
+	if _, err := FeaturizeLetters(s.Valid); err != nil {
+		t.Fatal(err)
+	}
+
+	recs := opsByName(drain())["FeaturizeLetters"]
+	if len(recs) != 2 {
+		t.Fatalf("got %d records across an Enable/Disable toggle, want 2", len(recs))
+	}
+}
+
+// With no ledger installed, the record hooks must not allocate (the
+// obs-off contract extends to the facade).
+func TestRecordOpHookDisabledZeroAllocations(t *testing.T) {
+	prev := obs.SetLedger(nil)
+	defer obs.SetLedger(prev)
+	var err error
+	allocs := testing.AllocsPerRun(200, func() {
+		recordOp("X", time.Now(), 10, 2, &err)
+	})
+	if allocs != 0 {
+		t.Errorf("recordOp with no ledger: %v allocs/op, want 0", allocs)
+	}
+}

@@ -2,6 +2,7 @@ package nde
 
 import (
 	"fmt"
+	"time"
 
 	"nde/internal/ml"
 	"nde/internal/nderr"
@@ -24,7 +25,8 @@ const (
 // analogue of nde.encode_symbolic(train_df, uncertain_feature=...,
 // missing_percentage=..., missingness="MNAR"). It returns the symbolic
 // dataset and the affected row indices.
-func EncodeSymbolic(d *Dataset, feature int, percentage float64, mech MissingnessMechanism, seed int64) (*SymbolicDataset, []int, error) {
+func EncodeSymbolic(d *Dataset, feature int, percentage float64, mech MissingnessMechanism, seed int64) (_ *SymbolicDataset, _ []int, err error) {
+	defer recordOp("EncodeSymbolic", time.Now(), datasetRows(d), 0, &err)
 	if err := checkDataset("train", d); err != nil {
 		return nil, nil, err
 	}
@@ -45,7 +47,8 @@ func EstimateWithZorro(train *SymbolicDataset, test *Dataset, worlds int, seed i
 
 // ZorroAnalysis runs the full Zorro analysis, returning prediction ranges,
 // certainty flags and both the sampled and the sound worst-case estimates.
-func ZorroAnalysis(train *SymbolicDataset, test *Dataset, worlds int, seed int64) (*uncertain.ZorroResult, error) {
+func ZorroAnalysis(train *SymbolicDataset, test *Dataset, worlds int, seed int64) (_ *uncertain.ZorroResult, err error) {
+	defer recordOp("ZorroAnalysis", time.Now(), datasetRows(test), 0, &err)
 	if train == nil {
 		return nil, nderr.Empty("nde: symbolic training set is nil")
 	}
@@ -62,7 +65,8 @@ func ZorroAnalysis(train *SymbolicDataset, test *Dataset, worlds int, seed int64
 // CertainPredictionFraction reports the fraction of test points whose kNN
 // prediction is provably identical in every completion of the symbolic
 // training data (CPClean).
-func CertainPredictionFraction(train *SymbolicDataset, test *Dataset, k int) (float64, []bool, error) {
+func CertainPredictionFraction(train *SymbolicDataset, test *Dataset, k int) (_ float64, _ []bool, err error) {
+	defer recordOp("CertainPredictionFraction", time.Now(), datasetRows(test), 0, &err)
 	if train == nil {
 		return 0, nil, nderr.Empty("nde: symbolic training set is nil")
 	}
@@ -89,7 +93,8 @@ type MultiplicityResult = uncertain.MultiplicityResult
 // (e.g. conflicting labels — the dataset-multiplicity problem), trains the
 // default model per world, and reports which test predictions are
 // consistent across all worlds.
-func PossibleWorlds(base *Dataset, uncertainties []DiscreteUncertainty, test *Dataset, maxWorlds int) (*MultiplicityResult, error) {
+func PossibleWorlds(base *Dataset, uncertainties []DiscreteUncertainty, test *Dataset, maxWorlds int) (_ *MultiplicityResult, err error) {
+	defer recordOp("PossibleWorlds", time.Now(), datasetRows(base), 0, &err)
 	if err := checkDataset("base", base); err != nil {
 		return nil, err
 	}
