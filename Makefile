@@ -1,6 +1,6 @@
 # Standard entry points; see README.md § Testing.
 
-.PHONY: build test check bench bench-all stress ops-smoke
+.PHONY: build test check bench bench-all bench-diff stress ops-smoke
 
 build:
 	go build ./...
@@ -23,11 +23,16 @@ stress:
 ops-smoke:
 	sh scripts/ops_smoke.sh
 
-# tracked benchmark series -> BENCH_importance.json + BENCH_whatif.json
-
+# tracked benchmark series -> BENCH_importance.json + BENCH_whatif.json +
+# BENCH_neighbor.json
 bench:
 	sh scripts/bench.sh
 
 # every benchmark in the repo, untracked
 bench-all:
 	go test -bench=. -benchmem ./...
+
+# perf-regression gate: fresh run vs the checked-in BENCH_*.json baselines,
+# fails on >15% ns/op regression (scripts/check.sh runs this when NDE_BENCH=1)
+bench-diff:
+	sh scripts/bench_diff.sh

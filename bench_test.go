@@ -7,12 +7,14 @@ package nde_test
 
 import (
 	"fmt"
+	"math/rand"
 	"runtime"
 	"testing"
 
 	"nde"
 	"nde/internal/exp"
 	"nde/internal/importance"
+	"nde/internal/linalg"
 	"nde/internal/ml"
 	"nde/internal/obs"
 )
@@ -387,6 +389,85 @@ func BenchmarkWhatIf(b *testing.B) {
 				if _, err := nde.WhatIfParallel(ft, variants, validLike, workers); err != nil {
 					b.Fatal(err)
 				}
+			}
+		})
+	}
+}
+
+// The recall-vs-speed gate of the ANN layer (scripts/bench.sh records this
+// series in BENCH_neighbor.json): exact vs IVF top-k per query on a 20k-row
+// index. The exact path is measured with its distance matrix already cached
+// — the cheapest exact can possibly be — and the IVF path must still be at
+// least 5x faster while keeping recall@10 >= 0.95 (reported as the
+// recall@10 metric on the ivf sub-benchmark).
+func BenchmarkNeighborTopK(b *testing.B) {
+	const (
+		n       = 20000
+		dim     = 32
+		centers = 64
+		queries = 64
+		k       = 10
+	)
+	r := rand.New(rand.NewSource(17))
+	ctr := linalg.NewMatrix(centers, dim)
+	for i := range ctr.Data {
+		ctr.Data[i] = r.NormFloat64() * 10
+	}
+	mk := func(rows int) *ml.Dataset {
+		x := linalg.NewMatrix(rows, dim)
+		y := make([]int, rows)
+		for i := 0; i < rows; i++ {
+			c := r.Intn(centers)
+			row := x.Row(i)
+			for j := range row {
+				row[j] = ctr.At(c, j) + r.NormFloat64()
+			}
+			y[i] = c % 2
+		}
+		d, err := ml.NewDataset(x, y)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return d
+	}
+	train, query := mk(n), mk(queries)
+	exact, err := ml.NewNeighborIndexSearch(train, query, 0, ml.SearchConfig{Mode: ml.SearchExact})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ivf, err := ml.NewNeighborIndexSearch(train, query, 0, ml.SearchConfig{Mode: ml.SearchIVF, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// warm both indexes outside the timer (D2 matrix / IVF build), then
+	// measure steady-state per-query cost
+	exact.TopK(0, k)
+	ivf.TopK(0, k)
+	hits := 0
+	for q := 0; q < queries; q++ {
+		truth := map[int]bool{}
+		for _, i := range exact.TopK(q, k) {
+			truth[i] = true
+		}
+		for _, i := range ivf.TopK(q, k) {
+			if truth[i] {
+				hits++
+			}
+		}
+	}
+	recall := float64(hits) / float64(queries*k)
+	for _, sub := range []struct {
+		name string
+		ix   *ml.NeighborIndex
+	}{{"exact", exact}, {"ivf", ivf}} {
+		b.Run(sub.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sub.ix.TopK(i%queries, k)
+			}
+			if sub.name == "ivf" {
+				b.ReportMetric(recall, "recall@10")
 			}
 		})
 	}

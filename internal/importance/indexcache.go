@@ -11,7 +11,7 @@ import (
 // geometry, and callers (iterative cleaning, repeated experiments,
 // benchmarks) invoke them many times over datasets whose *features* never
 // change — only labels do. This cache shares one ml.NeighborIndex per
-// distinct (train.X, valid.X) content pair, so the distance matrix and the
+// distinct (train.X, valid.X, search config) triple, so the distance matrix and the
 // per-query neighbor orders are computed exactly once and reused across
 // calls. Keys are content fingerprints (linalg.Matrix.Fingerprint), not
 // pointer identities, so in-place feature mutations are detected and get a
@@ -37,9 +37,11 @@ import (
 
 type indexKey struct {
 	trainFP, validFP uint64
+	searchFP         uint64 // ml.SearchConfig fingerprint: mode/nprobe/seed knobs
 }
 
-const maxCachedIndexes = 4
+// maxCachedIndexes is the FIFO capacity; SetIndexCacheCapacity changes it.
+var maxCachedIndexes = 4
 
 // indexEntry is one singleflight slot: ready is closed when the build
 // finishes, after which ix/err are immutable.
@@ -50,16 +52,72 @@ type indexEntry struct {
 }
 
 var (
-	indexMu    sync.Mutex
-	indexCache = map[indexKey]*indexEntry{}
-	indexFIFO  []indexKey // insertion order for eviction
+	indexMu     sync.Mutex
+	indexCache  = map[indexKey]*indexEntry{}
+	indexFIFO   []indexKey // insertion order for eviction
+	indexSearch ml.SearchConfig
 )
+
+// SetNeighborSearch sets the search configuration every subsequently built
+// shared index uses. The config fingerprint is part of the cache key, so
+// indexes built under a previous config are not aliased — they simply age
+// out of the FIFO. The kNN-Shapley paths consume the full exact ranking
+// (Order) regardless of mode; the mode matters for TopK consumers sharing
+// the cache, such as the facade's neighbor search.
+func SetNeighborSearch(cfg ml.SearchConfig) {
+	indexMu.Lock()
+	indexSearch = cfg
+	indexMu.Unlock()
+}
+
+// NeighborSearch returns the search configuration shared indexes are built
+// with.
+func NeighborSearch() ml.SearchConfig {
+	indexMu.Lock()
+	defer indexMu.Unlock()
+	return indexSearch
+}
+
+// SetIndexCacheCapacity resizes the neighbor-index FIFO (minimum 1) and
+// returns the previous capacity. Shrinking evicts oldest entries
+// immediately; each eviction is counted in
+// importance_neighbor_index_evictions_total like any other.
+func SetIndexCacheCapacity(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	indexMu.Lock()
+	defer indexMu.Unlock()
+	prev := maxCachedIndexes
+	maxCachedIndexes = n
+	for len(indexFIFO) > maxCachedIndexes {
+		delete(indexCache, indexFIFO[0])
+		copy(indexFIFO, indexFIFO[1:])
+		indexFIFO = indexFIFO[:len(indexFIFO)-1]
+		obs.Inc("importance_neighbor_index_evictions_total")
+	}
+	return prev
+}
+
+// IndexCacheCapacity returns the current FIFO capacity.
+func IndexCacheCapacity() int {
+	indexMu.Lock()
+	defer indexMu.Unlock()
+	return maxCachedIndexes
+}
 
 // sharedNeighborIndex returns the cached NeighborIndex for (train, valid)
 // — valid rows are the queries — building and caching it on a miss. Safe
 // for concurrent use.
 func sharedNeighborIndex(train, valid *ml.Dataset, workers int) (*ml.NeighborIndex, error) {
-	key := indexKey{trainFP: train.X.Fingerprint(), validFP: valid.X.Fingerprint()}
+	indexMu.Lock()
+	search := indexSearch
+	indexMu.Unlock()
+	key := indexKey{
+		trainFP:  train.X.Fingerprint(),
+		validFP:  valid.X.Fingerprint(),
+		searchFP: search.Fingerprint(),
+	}
 	indexMu.Lock()
 	if e, ok := indexCache[key]; ok {
 		indexMu.Unlock()
@@ -91,7 +149,7 @@ func sharedNeighborIndex(train, valid *ml.Dataset, workers int) (*ml.NeighborInd
 	indexFIFO = append(indexFIFO, key)
 	indexMu.Unlock()
 
-	ix, err := ml.NewNeighborIndex(train, valid, workers)
+	ix, err := ml.NewNeighborIndexSearch(train, valid, workers, search)
 	e.ix, e.err = ix, err
 	close(e.ready)
 	if err != nil {

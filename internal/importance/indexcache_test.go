@@ -243,8 +243,8 @@ func TestSharedNeighborIndexChurnBounded(t *testing.T) {
 	if misses < datasets {
 		t.Errorf("misses = %d, want >= %d distinct geometries", misses, datasets)
 	}
-	if evictions != misses-maxCachedIndexes {
-		t.Errorf("evictions = %d, want misses-max = %d", evictions, misses-maxCachedIndexes)
+	if evictions != misses-int64(maxCachedIndexes) {
+		t.Errorf("evictions = %d, want misses-max = %d", evictions, misses-int64(maxCachedIndexes))
 	}
 }
 
@@ -271,5 +271,100 @@ func TestSharedNeighborIndexFIFONoLeak(t *testing.T) {
 	// one append past the bound
 	if cap(indexFIFO) > 2*maxCachedIndexes {
 		t.Errorf("fifo cap = %d after %d churns: evicted heads are being retained", cap(indexFIFO), churn)
+	}
+}
+
+// The FIFO capacity is configurable; the obs eviction counter must track
+// exactly the configured cap, and shrinking evicts immediately.
+func TestIndexCacheCapacityConfigurable(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+	defer obs.Reset()
+	obs.Reset()
+	ResetNeighborIndexCache()
+	defer ResetNeighborIndexCache()
+	prev := SetIndexCacheCapacity(2)
+	defer SetIndexCacheCapacity(prev)
+	if got := IndexCacheCapacity(); got != 2 {
+		t.Fatalf("capacity = %d, want 2", got)
+	}
+
+	const builds = 5
+	for i := 0; i < builds; i++ {
+		train := blobs(15, 1.5, int64(1400+i))
+		valid := blobs(8, 1.5, int64(1500+i))
+		if _, err := sharedNeighborIndex(train, valid, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	evictions := obs.Default().Counter("importance_neighbor_index_evictions_total").Value()
+	if want := int64(builds - 2); evictions != want {
+		t.Errorf("evictions = %d, want builds-cap = %d", evictions, want)
+	}
+	indexMu.Lock()
+	nc := len(indexCache)
+	indexMu.Unlock()
+	if nc != 2 {
+		t.Errorf("cache holds %d entries, want the configured cap 2", nc)
+	}
+
+	// shrinking below the current population evicts immediately
+	SetIndexCacheCapacity(1)
+	indexMu.Lock()
+	nc, nf := len(indexCache), len(indexFIFO)
+	indexMu.Unlock()
+	if nc != 1 || nf != 1 {
+		t.Errorf("after shrink: map %d fifo %d, want 1", nc, nf)
+	}
+	if got := obs.Default().Counter("importance_neighbor_index_evictions_total").Value(); got != evictions+1 {
+		t.Errorf("shrink evictions = %d, want %d", got, evictions+1)
+	}
+	if got := SetIndexCacheCapacity(0); got != 1 {
+		t.Errorf("previous capacity = %d, want 1", got)
+	}
+	if got := IndexCacheCapacity(); got != 1 {
+		t.Errorf("capacity clamps to %d, want 1", got)
+	}
+}
+
+// The cache key includes the search-config fingerprint: the same geometry
+// under a different search mode must be a distinct entry, never an alias.
+func TestIndexCacheKeyedBySearchConfig(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+	defer obs.Reset()
+	obs.Reset()
+	ResetNeighborIndexCache()
+	defer ResetNeighborIndexCache()
+	defer SetNeighborSearch(ml.SearchConfig{})
+
+	train := blobs(40, 1.5, 1600)
+	valid := blobs(20, 1.5, 1601)
+	exact, err := sharedNeighborIndex(train, valid, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetNeighborSearch(ml.SearchConfig{Mode: ml.SearchAuto, ExactThreshold: 10, NProbe: 2})
+	if got := NeighborSearch().Mode; got != ml.SearchAuto {
+		t.Fatalf("NeighborSearch mode = %v, want auto", got)
+	}
+	approx, err := sharedNeighborIndex(train, valid, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact == approx {
+		t.Fatal("same index instance served for different search configs")
+	}
+	if got := obs.Default().Counter("importance_neighbor_index_misses_total").Value(); got != 2 {
+		t.Errorf("misses = %d, want 2 (one per config)", got)
+	}
+	// back to the default config: the exact entry is still cached
+	SetNeighborSearch(ml.SearchConfig{})
+	again, err := sharedNeighborIndex(train, valid, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != exact {
+		t.Error("default-config lookup missed the cached exact index")
 	}
 }

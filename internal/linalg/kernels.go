@@ -60,10 +60,10 @@ func pairwiseD2Block(a, b *Matrix, na, nb []float64, out *Matrix, lo, hi int) {
 			j1 = b.Rows
 		}
 		for i := lo; i < hi; i++ {
-			ai := a.Row(i)
+			ai := a.Row(i)[:d] // len==d ties the bounds checks to the loop condition
 			orow := out.Row(i)
 			for j := j0; j < j1; j++ {
-				bj := b.Row(j)
+				bj := b.Row(j)[:d]
 				var s0, s1, s2, s3 float64
 				k := 0
 				for ; k+3 < d; k += 4 {

@@ -1,0 +1,179 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+
+	"nde/internal/par"
+)
+
+// Matrix32 is a dense row-major float32 matrix — the reduced-precision
+// mirror of Matrix used by the approximate-neighbor layer. Halving the
+// element width halves the memory bandwidth of the distance kernels, which
+// is what bounds them on modern cores; the ~7 decimal digits that remain
+// are far more precision than approximate neighbor ranking needs.
+type Matrix32 struct {
+	Rows, Cols int
+	Data       []float32 // len Rows*Cols, Data[r*Cols+c]
+}
+
+// NewMatrix32 allocates a zero Rows x Cols float32 matrix.
+func NewMatrix32(rows, cols int) *Matrix32 {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("linalg: invalid shape %dx%d", rows, cols))
+	}
+	return &Matrix32{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// ToMatrix32 returns a float32 copy of m (values truncated to float32).
+func (m *Matrix) ToMatrix32() *Matrix32 {
+	out := NewMatrix32(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		out.Data[i] = float32(v)
+	}
+	return out
+}
+
+// At returns element (r, c).
+func (m *Matrix32) At(r, c int) float32 { return m.Data[r*m.Cols+c] }
+
+// Set stores v at element (r, c).
+func (m *Matrix32) Set(r, c int, v float32) { m.Data[r*m.Cols+c] = v }
+
+// Row returns a view of row r (shared backing).
+func (m *Matrix32) Row(r int) []float32 { return m.Data[r*m.Cols : (r+1)*m.Cols] }
+
+// SquaredDistance32 returns the squared L2 distance between two
+// equal-length float32 vectors. Four accumulators break the loop-carried
+// add dependency (the ANN candidate scan calls this once per candidate);
+// the summation order is fixed, so results are deterministic for a given
+// input.
+func SquaredDistance32(a, b []float32) float32 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("linalg: SquaredDistance32 dims %d vs %d", len(a), len(b)))
+	}
+	b = b[:len(a)]
+	var s0, s1, s2, s3 float32
+	k := 0
+	for ; k+3 < len(a); k += 4 {
+		d0 := a[k] - b[k]
+		d1 := a[k+1] - b[k+1]
+		d2 := a[k+2] - b[k+2]
+		d3 := a[k+3] - b[k+3]
+		s0 += d0 * d0
+		s1 += d1 * d1
+		s2 += d2 * d2
+		s3 += d3 * d3
+	}
+	s := s0 + s1 + s2 + s3
+	for ; k < len(a); k++ {
+		d := a[k] - b[k]
+		s += d * d
+	}
+	return s
+}
+
+// Dot32 returns the 4-way unrolled dot product of two equal-length float32
+// vectors — the same summation order as the float64 kernel's inner loop,
+// so the result is deterministic for a given input.
+func Dot32(a, b []float32) float32 {
+	var s0, s1, s2, s3 float32
+	k := 0
+	for ; k+3 < len(a); k += 4 {
+		s0 += a[k] * b[k]
+		s1 += a[k+1] * b[k+1]
+		s2 += a[k+2] * b[k+2]
+		s3 += a[k+3] * b[k+3]
+	}
+	dot := s0 + s1 + s2 + s3
+	for ; k < len(a); k++ {
+		dot += a[k] * b[k]
+	}
+	return dot
+}
+
+// RowNorms232 returns the squared Euclidean norm of every row of m.
+func RowNorms232(m *Matrix32) []float32 {
+	out := make([]float32, m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		out[r] = Dot32(m.Row(r), m.Row(r))
+	}
+	return out
+}
+
+// PairwiseSquaredDistances32 is the float32 mirror of
+// PairwiseSquaredDistances: the a.Rows × b.Rows matrix of ‖aᵢ − bⱼ‖² via
+// the Gram identity over cached row norms, row-blocked and column-tiled so
+// a tile of B rows stays cache-hot, with a 4-way unrolled dot product.
+// Every element has a fixed summation order and is produced by exactly one
+// worker, so the result is bit-for-bit deterministic for any worker count.
+// Cancellation can leave tiny negative values; they are clamped to zero.
+//
+// float32 accuracy caveat: the Gram form loses relative precision when
+// ‖a‖² + ‖b‖² greatly exceeds ‖a − b‖² (nearly coincident far-from-origin
+// points). That can reorder near-ties, which is why this kernel backs the
+// approximate search paths only — the exact float64 kernel remains the
+// determinism oracle.
+func PairwiseSquaredDistances32(a, b *Matrix32, workers int) *Matrix32 {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("linalg: PairwiseSquaredDistances32 dims %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix32(a.Rows, b.Rows)
+	if a.Rows == 0 || b.Rows == 0 {
+		return out
+	}
+	na := RowNorms232(a)
+	nb := RowNorms232(b)
+	const rowBlock = 16
+	par.ForBlocks("linalg.pairwise_d2_f32", workers, a.Rows, rowBlock, func(_, lo, hi int) {
+		pairwiseD2Block32(a, b, na, nb, out, lo, hi)
+	})
+	return out
+}
+
+// pairwiseD2Block32 fills output rows [lo, hi); B rows are walked in tiles
+// of jTile so they stay in cache while the block of A rows streams over
+// them. jTile is twice the float64 kernel's: float32 rows are half as wide,
+// so twice as many fit in the same cache footprint.
+func pairwiseD2Block32(a, b *Matrix32, na, nb []float32, out *Matrix32, lo, hi int) {
+	const jTile = 128
+	for j0 := 0; j0 < b.Rows; j0 += jTile {
+		j1 := j0 + jTile
+		if j1 > b.Rows {
+			j1 = b.Rows
+		}
+		for i := lo; i < hi; i++ {
+			ai := a.Row(i)
+			orow := out.Row(i)
+			for j := j0; j < j1; j++ {
+				v := na[i] + nb[j] - 2*Dot32(ai, b.Row(j))
+				if v < 0 {
+					v = 0
+				}
+				orow[j] = v
+			}
+		}
+	}
+}
+
+// Fingerprint returns a cheap FNV-1a hash over the matrix shape and the
+// raw bits of its elements, the float32 analogue of Matrix.Fingerprint.
+func (m *Matrix32) Fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for s := 0; s < 64; s += 8 {
+			h ^= (v >> s) & 0xff
+			h *= prime64
+		}
+	}
+	mix(uint64(m.Rows))
+	mix(uint64(m.Cols))
+	for _, v := range m.Data {
+		mix(uint64(math.Float32bits(v)))
+	}
+	return h
+}

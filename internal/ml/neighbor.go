@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 
+	"nde/internal/ann"
 	"nde/internal/linalg"
 	"nde/internal/nderr"
 	"nde/internal/par"
@@ -41,12 +42,20 @@ type NeighborIndex struct {
 	// Workers bounds the pool used for the kernel and the batch argsort
 	// (<= 0 = auto).
 	Workers int
+	// Search selects the top-k backend (see SearchConfig). The zero value
+	// is the exact path; SearchIVF/SearchAuto route TopK through the
+	// approximate internal/ann index, built lazily on first query. Order
+	// and D2 are always exact regardless of mode — full-ranking consumers
+	// (the kNN-Shapley closed form) stay on the determinism oracle.
+	Search SearchConfig
 
 	d2Once sync.Once
 	d2     *linalg.Matrix // Queries.Len() × Train.Len()
 
 	ordersOnce sync.Once
 	orders     []int // flat q×n argsort rows; Order(qi) returns a view
+
+	search searchState // lazily resolved ANN backend (search.go)
 }
 
 // NewNeighborIndex builds an index over the given train and query sets.
@@ -57,6 +66,14 @@ type NeighborIndex struct {
 // build time (wrapping nderr.ErrNonFinite) turns that silent corruption
 // into a diagnosable error.
 func NewNeighborIndex(train, queries *Dataset, workers int) (*NeighborIndex, error) {
+	return NewNeighborIndexSearch(train, queries, workers, SearchConfig{})
+}
+
+// NewNeighborIndexSearch is NewNeighborIndex with an explicit search
+// configuration. The zero SearchConfig reproduces NewNeighborIndex
+// exactly; SearchIVF/SearchAuto route TopK through the approximate index
+// (built lazily on first query) while Order/D2 stay exact.
+func NewNeighborIndexSearch(train, queries *Dataset, workers int, search SearchConfig) (*NeighborIndex, error) {
 	if train == nil || queries == nil {
 		return nil, nderr.Empty("ml: NeighborIndex needs non-nil train and query sets")
 	}
@@ -72,7 +89,7 @@ func NewNeighborIndex(train, queries *Dataset, workers int) (*NeighborIndex, err
 	if err := queries.X.CheckFinite("NeighborIndex query features"); err != nil {
 		return nil, fmt.Errorf("ml: %w", err)
 	}
-	return &NeighborIndex{Train: train, Queries: queries, Workers: workers}, nil
+	return &NeighborIndex{Train: train, Queries: queries, Workers: workers, Search: search}, nil
 }
 
 // D2 returns the query×train squared-distance matrix, computing it on
@@ -105,10 +122,15 @@ func (ix *NeighborIndex) Order(qi int) []int {
 }
 
 // TopK returns the k training indices nearest to query qi, sorted by
-// ascending squared distance (ties by index), without sorting the full
-// row: an O(n) quickselect pulls the k smallest, then only those are
-// sorted. k is clamped to the training size. The slice is freshly
-// allocated.
+// ascending squared distance (ties by index). k is clamped to the
+// training size. The slice is freshly allocated.
+//
+// In the exact mode an O(n) quickselect over the cached distance row pulls
+// the k smallest, then only those are sorted. Under SearchIVF/SearchAuto
+// the answer comes from the approximate index (float32 distances, nprobe
+// partitions scanned) — sub-linear, but rows outside the probed partitions
+// can be missed; if the probed partitions hold fewer than k rows, the
+// query transparently falls back to the exact path.
 func (ix *NeighborIndex) TopK(qi, k int) []int {
 	n := ix.Train.Len()
 	if k > n {
@@ -117,15 +139,32 @@ func (ix *NeighborIndex) TopK(qi, k int) []int {
 	if k <= 0 {
 		return nil
 	}
+	ix.ensureSearch()
+	if ix.search.eff != SearchExact {
+		scratch := ix.annScratch()
+		out, ok := ix.annTopK(qi, k, scratch)
+		ix.search.scratch.Put(scratch)
+		if ok {
+			return out
+		}
+	}
 	row := ix.D2().Row(qi)
 	pairs := make([]distIdx, n)
+	out := make([]int, k)
+	return ix.exactTopKInto(row, k, pairs, out)
+}
+
+// exactTopKInto is the exact top-k path writing into caller-provided
+// buffers: pairs must have length Train.Len(), out length k. It returns
+// out. Extracted so the batch prediction path can reuse per-worker
+// scratch instead of allocating per query.
+func (ix *NeighborIndex) exactTopKInto(row []float64, k int, pairs []distIdx, out []int) []int {
 	for i := range pairs {
 		pairs[i] = distIdx{d: row[i], i: i}
 	}
 	selectK(pairs, k)
 	top := pairs[:k]
 	sort.Sort(byDistIdx(top))
-	out := make([]int, k)
 	for i, p := range top {
 		out[i] = p.i
 	}
@@ -141,8 +180,16 @@ func (ix *NeighborIndex) PredictRow(qi, k int) int {
 
 // predictRow is PredictRow with a caller-provided (zeroed) vote buffer.
 func (ix *NeighborIndex) predictRow(qi, k int, votes []int) int {
-	for _, i := range ix.TopK(qi, k) {
-		votes[ix.Train.Y[i]]++
+	return tallyVotes(votes, ix.Train.Y, ix.TopK(qi, k))
+}
+
+// tallyVotes counts the labels of the given training indices into votes
+// (reset to zero on return) and returns the majority label, vote ties
+// breaking toward the smaller label. The winner depends only on the SET of
+// indices, so callers may pass top-k candidates in any order.
+func tallyVotes(votes []int, trainY []int, top []int) int {
+	for _, i := range top {
+		votes[trainY[i]]++
 	}
 	best, bestVotes := 0, -1
 	for y, v := range votes {
@@ -154,19 +201,60 @@ func (ix *NeighborIndex) predictRow(qi, k int, votes []int) int {
 	return best
 }
 
+// predictScratch is the per-worker buffer set of PredictBatch: one
+// allocation per worker instead of two per query.
+type predictScratch struct {
+	votes []int
+	pairs []distIdx // exact path: quickselect arena
+	top   []int     // exact path: top-k indices
+	ann   *ann.Scratch
+}
+
 // PredictBatch classifies every query with the k-nearest-neighbor vote,
-// fanning queries out over the shared pool. The result is identical to
-// calling PredictRow per query.
+// fanning queries out over the shared pool with per-worker scratch
+// buffers — the batch path allocates O(workers), not O(queries). The
+// result is identical to calling PredictRow per query.
 func (ix *NeighborIndex) PredictBatch(k int) []int {
-	out := make([]int, ix.Queries.Len())
+	nq := ix.Queries.Len()
+	out := make([]int, nq)
 	nc := ix.Train.NumClasses()
-	voteBufs := make([][]int, par.Workers(ix.Workers, ix.Queries.Len()))
-	ix.D2() // materialize once before fanning out
-	par.For("ml.knn_predict_batch", ix.Workers, ix.Queries.Len(), func(w, q int) {
-		if voteBufs[w] == nil {
-			voteBufs[w] = make([]int, nc)
+	n := ix.Train.Len()
+	kk := k
+	if kk > n {
+		kk = n
+	}
+	if kk <= 0 {
+		return out
+	}
+	ix.ensureSearch()
+	exact := ix.search.eff == SearchExact
+	if exact {
+		ix.D2() // materialize once before fanning out
+	} else {
+		ix.queries32()
+	}
+	scratch := make([]predictScratch, par.Workers(ix.Workers, nq))
+	par.For("ml.knn_predict_batch", ix.Workers, nq, func(w, q int) {
+		s := &scratch[w]
+		if s.votes == nil {
+			s.votes = make([]int, nc)
 		}
-		out[q] = ix.predictRow(q, k, voteBufs[w])
+		if !exact {
+			if s.ann == nil {
+				s.ann = &ann.Scratch{}
+			}
+			if top, ok := ix.annTopK(q, kk, s.ann); ok {
+				out[q] = tallyVotes(s.votes, ix.Train.Y, top)
+				return
+			}
+			// partial answer: exact fallback for this query
+		}
+		if s.pairs == nil {
+			s.pairs = make([]distIdx, n)
+			s.top = make([]int, kk)
+		}
+		top := ix.exactTopKInto(ix.D2().Row(q), kk, s.pairs, s.top[:kk])
+		out[q] = tallyVotes(s.votes, ix.Train.Y, top)
 	})
 	return out
 }

@@ -1,0 +1,80 @@
+package nde_test
+
+import (
+	"testing"
+
+	"nde"
+	"nde/internal/ml"
+)
+
+// Satellite of the ANN PR: PredictBatch once LOST to row-by-row prediction
+// (1.30ms/282KB vs 1.18ms/185KB per op) because it allocated quickselect
+// arenas and vote buffers per query. With per-worker scratch the batched
+// path must strictly win on both time and allocation — this test measures
+// both paths with the benchmark harness and asserts the ordering, so the
+// regression cannot silently return.
+func TestPredictBatchBeatsRowwise(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark-driven comparison skipped in -short mode")
+	}
+	s := nde.LoadRecommendationLetters(300, 7)
+	train, valid, _, err := nde.FeaturizeLetterSplits(s.Train, s.Valid, s.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	knn := ml.NewKNN(5)
+	if err := knn.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	batchOp := func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := knn.PredictBatch(valid, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	rowwiseOp := func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for v := 0; v < valid.Len(); v++ {
+				knn.Predict(valid.Row(v))
+			}
+		}
+	}
+	// interleaved min-of-2 to absorb scheduler noise
+	minNs := func(op func(b *testing.B)) (ns float64, bytesPerOp, allocsPerOp int64) {
+		r := testing.Benchmark(op)
+		ns, bytesPerOp, allocsPerOp = float64(r.NsPerOp()), r.AllocedBytesPerOp(), r.AllocsPerOp()
+		for i := 1; i < 2; i++ {
+			r = testing.Benchmark(op)
+			if v := float64(r.NsPerOp()); v < ns {
+				ns = v
+			}
+		}
+		return ns, bytesPerOp, allocsPerOp
+	}
+	batchNs, batchBytes, batchAllocs := minNs(batchOp)
+	rowNs, rowBytes, rowAllocs := minNs(rowwiseOp)
+	t.Logf("batch:   %.0f ns/op, %d B/op, %d allocs/op", batchNs, batchBytes, batchAllocs)
+	t.Logf("rowwise: %.0f ns/op, %d B/op, %d allocs/op", rowNs, rowBytes, rowAllocs)
+	if batchNs > rowNs {
+		t.Errorf("batched prediction is slower than rowwise: %.0f vs %.0f ns/op", batchNs, rowNs)
+	}
+	if batchAllocs >= rowAllocs {
+		t.Errorf("batched prediction allocates %d times/op, rowwise %d — batch must be strictly lower", batchAllocs, rowAllocs)
+	}
+	if batchBytes >= rowBytes {
+		t.Errorf("batched prediction allocates %d B/op, rowwise %d — batch must be strictly lower", batchBytes, rowBytes)
+	}
+	// and the answers agree, so the win is not bought with wrong results
+	got, err := knn.PredictBatch(valid, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < valid.Len(); v++ {
+		if want := knn.Predict(valid.Row(v)); got[v] != want {
+			t.Fatalf("query %d: batch %d vs rowwise %d", v, got[v], want)
+		}
+	}
+}

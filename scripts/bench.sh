@@ -3,17 +3,21 @@
 # them as JSON (name, ns/op, allocs/op, B/op) so the perf trajectory is
 # tracked PR-over-PR. Each file carries a "meta" header (git SHA, Go
 # version, GOMAXPROCS, UTC date) so numbers from different machines and
-# commits stay comparable. Two series are emitted: the importance/pipeline hot
-# paths (BENCH_importance.json) and the what-if fan-out (BENCH_whatif.json).
-# `make bench` runs this.
+# commits stay comparable. Three series are emitted: the importance/pipeline
+# hot paths (BENCH_importance.json), the what-if fan-out (BENCH_whatif.json),
+# and the exact-vs-IVF neighbor-search gate (BENCH_neighbor.json, which also
+# records the recall@10 of the IVF run). `make bench` runs this.
 #
 # Usage: sh scripts/bench.sh [importance-output.json]
 #   NDE_BENCHTIME=2s   benchtime per benchmark (default 1s)
 #   NDE_BENCH_FILTER   importance-series benchmark regexp override
+#   NDE_BENCH_OUTDIR   directory for the series files (default repo root;
+#                      bench_diff.sh points this at a temp dir)
 set -eu
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_importance.json}"
+outdir="${NDE_BENCH_OUTDIR:-.}"
+out="${1:-$outdir/BENCH_importance.json}"
 filter="${NDE_BENCH_FILTER:-BenchmarkAblation|BenchmarkMCShapleyParallel|BenchmarkKNNShapley|BenchmarkKNNPredictBatch|BenchmarkPipelineRunObs}"
 benchtime="${NDE_BENCHTIME:-1s}"
 
@@ -41,11 +45,12 @@ BEGIN {
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)   # strip the -GOMAXPROCS suffix
-    ns = ""; bytes = ""; allocs = ""
+    ns = ""; bytes = ""; allocs = ""; recall = ""
     for (i = 2; i < NF; i++) {
         if ($(i+1) == "ns/op")     ns = $i
         if ($(i+1) == "B/op")      bytes = $i
         if ($(i+1) == "allocs/op") allocs = $i
+        if ($(i+1) == "recall@10") recall = $i
     }
     if (ns == "") next
     if (!first) printf ",\n"
@@ -53,6 +58,7 @@ BEGIN {
     printf "    {\"name\": \"%s\", \"ns_per_op\": %s", name, ns
     if (bytes != "")  printf ", \"bytes_per_op\": %s", bytes
     if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+    if (recall != "") printf ", \"recall_at_10\": %s", recall
     printf "}"
 }
 END { print "\n  ]\n}" }
@@ -62,4 +68,5 @@ END { print "\n  ]\n}" }
 }
 
 run_bench "$filter" "$out"
-run_bench "^BenchmarkWhatIf$" "BENCH_whatif.json"
+run_bench "^BenchmarkWhatIf$" "$outdir/BENCH_whatif.json"
+run_bench "^BenchmarkNeighborTopK$" "$outdir/BENCH_neighbor.json"

@@ -43,10 +43,12 @@ if [ "${NDE_SKIP_SMOKE:-0}" != "1" ]; then
     sh scripts/ops_smoke.sh
 fi
 
-# opt-in: record the tracked hot-path benchmarks (BENCH_importance.json)
+# opt-in: perf-regression gate — fresh benchmark run compared against the
+# checked-in BENCH_*.json baselines, failing on >15% ns/op regression
+# (refresh the baselines themselves with `make bench`)
 if [ "${NDE_BENCH:-0}" = "1" ]; then
-    echo "==> scripts/bench.sh"
-    sh scripts/bench.sh
+    echo "==> scripts/bench_diff.sh"
+    sh scripts/bench_diff.sh
 fi
 
 echo "OK"
