@@ -1,6 +1,6 @@
 # Standard entry points; see README.md § Testing.
 
-.PHONY: build test check bench bench-all bench-diff stress ops-smoke
+.PHONY: build test check bench bench-all bench-diff stress ops-smoke serve-smoke
 
 build:
 	go build ./...
@@ -22,6 +22,11 @@ stress:
 # /metrics and /trace over HTTP, interrupt, assert a clean exit and ledger
 ops-smoke:
 	sh scripts/ops_smoke.sh
+
+# nde-serve smoke test: race-built daemon, register/score/what-if over real
+# HTTP, singleflight + load-shed assertions from /metrics, SIGTERM drain
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 # tracked benchmark series -> BENCH_importance.json + BENCH_whatif.json +
 # BENCH_neighbor.json

@@ -1,6 +1,10 @@
 package nde
 
-import "nde/internal/nderr"
+import (
+	"errors"
+
+	"nde/internal/nderr"
+)
 
 // The ErrDegenerateInput family classifies bad inputs rejected at the
 // library boundary. Every exported facade function returns an error —
@@ -31,3 +35,30 @@ var (
 	// ErrBadK marks neighborhood sizes outside [1, n].
 	ErrBadK = nderr.ErrBadK
 )
+
+// ErrorClass maps an error to its stable machine-readable class name:
+// the nderr sentinel class for family members, "" for nil, and "error"
+// for anything else. It is the vocabulary shared by ledger "op" records
+// and the nde-serve JSON error envelope, so a client can switch on the
+// class without parsing message text. Specific sentinels take precedence
+// over the family root.
+func ErrorClass(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, nderr.ErrNonFinite):
+		return "non_finite"
+	case errors.Is(err, nderr.ErrEmptyInput):
+		return "empty_input"
+	case errors.Is(err, nderr.ErrShapeMismatch):
+		return "shape_mismatch"
+	case errors.Is(err, nderr.ErrSingleClass):
+		return "single_class"
+	case errors.Is(err, nderr.ErrBadK):
+		return "bad_k"
+	case errors.Is(err, nderr.ErrDegenerateInput):
+		return "degenerate_input"
+	default:
+		return "error"
+	}
+}

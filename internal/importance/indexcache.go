@@ -4,181 +4,104 @@ import (
 	"sync"
 
 	"nde/internal/ml"
-	"nde/internal/obs"
+	"nde/internal/store"
 )
 
 // The kNN-Shapley hot paths all need the same valid×train distance
 // geometry, and callers (iterative cleaning, repeated experiments,
-// benchmarks) invoke them many times over datasets whose *features* never
-// change — only labels do. This cache shares one ml.NeighborIndex per
-// distinct (train.X, valid.X, search config) triple, so the distance matrix and the
-// per-query neighbor orders are computed exactly once and reused across
-// calls. Keys are content fingerprints (linalg.Matrix.Fingerprint), not
-// pointer identities, so in-place feature mutations are detected and get a
-// fresh index.
+// benchmarks, concurrent serving requests) invoke them many times over
+// datasets whose *features* never change — only labels do. This cache
+// shares one ml.NeighborIndex per distinct (train.X, valid.X, search
+// config) triple through a content-addressed artifact store
+// (internal/store), so the distance matrix and the per-query neighbor
+// orders are computed exactly once and reused across calls. Keys are
+// content fingerprints (linalg.Matrix.Fingerprint), not pointer
+// identities, so in-place feature mutations are detected and get a fresh
+// index.
 //
-// Concurrency: lookups are singleflight. The global mutex guards only the
-// map and the eviction queue; the expensive NewNeighborIndex build runs
-// outside it, gated per key by a ready channel. Concurrent first callers
-// for the SAME geometry share one build (later arrivals block on the
-// channel), while concurrent first callers for DIFFERENT geometries build
-// in parallel instead of serializing behind one another's builds. Failed
-// builds are not cached: the error is delivered to every waiter of that
-// flight and the key is removed so a later call can retry.
+// Concurrency: lookups are singleflight and eviction is LRU over ready
+// entries only — an in-flight build is never evicted, so concurrent
+// same-key callers always share one build even while other geometries
+// churn the cache past its bound. See the internal/store package
+// documentation for the full contract.
 //
 // IMPORTANT: a cached index may hold *stale labels* (its Datasets are the
 // ones from the first call). Callers must therefore use only the
 // geometry methods of the returned index (D2, Order, TopK) and read labels
 // from their own arguments — never Predict* on a cached index.
 //
-// Metrics: importance_neighbor_index_{hits,misses,evictions,waits}_total.
-// A "wait" is a caller that blocked on another goroutine's in-flight build
-// instead of building or reading a completed entry.
+// Metrics: importance_neighbor_index_{hits,misses,evictions,waits}_total
+// plus the importance_neighbor_index_{entries,inflight} gauges. A "wait"
+// is a caller that blocked on another goroutine's in-flight build instead
+// of building or reading a completed entry.
 
 type indexKey struct {
 	trainFP, validFP uint64
 	searchFP         uint64 // ml.SearchConfig fingerprint: mode/nprobe/seed knobs
 }
 
-// maxCachedIndexes is the FIFO capacity; SetIndexCacheCapacity changes it.
-var maxCachedIndexes = 4
+// defaultIndexCacheCapacity is the initial LRU bound;
+// SetIndexCacheCapacity changes it.
+const defaultIndexCacheCapacity = 4
 
-// indexEntry is one singleflight slot: ready is closed when the build
-// finishes, after which ix/err are immutable.
-type indexEntry struct {
-	ready chan struct{}
-	ix    *ml.NeighborIndex
-	err   error
-}
+// indexStore is the shared neighbor-index artifact store. The metric
+// prefix preserves the counter names the cache has exported since PR 2.
+var indexStore = store.New[indexKey, *ml.NeighborIndex]("importance_neighbor_index", defaultIndexCacheCapacity)
 
 var (
-	indexMu     sync.Mutex
-	indexCache  = map[indexKey]*indexEntry{}
-	indexFIFO   []indexKey // insertion order for eviction
+	searchMu    sync.Mutex
 	indexSearch ml.SearchConfig
 )
 
 // SetNeighborSearch sets the search configuration every subsequently built
 // shared index uses. The config fingerprint is part of the cache key, so
 // indexes built under a previous config are not aliased — they simply age
-// out of the FIFO. The kNN-Shapley paths consume the full exact ranking
+// out of the LRU. The kNN-Shapley paths consume the full exact ranking
 // (Order) regardless of mode; the mode matters for TopK consumers sharing
 // the cache, such as the facade's neighbor search.
 func SetNeighborSearch(cfg ml.SearchConfig) {
-	indexMu.Lock()
+	searchMu.Lock()
 	indexSearch = cfg
-	indexMu.Unlock()
+	searchMu.Unlock()
 }
 
 // NeighborSearch returns the search configuration shared indexes are built
 // with.
 func NeighborSearch() ml.SearchConfig {
-	indexMu.Lock()
-	defer indexMu.Unlock()
+	searchMu.Lock()
+	defer searchMu.Unlock()
 	return indexSearch
 }
 
-// SetIndexCacheCapacity resizes the neighbor-index FIFO (minimum 1) and
-// returns the previous capacity. Shrinking evicts oldest entries
-// immediately; each eviction is counted in
-// importance_neighbor_index_evictions_total like any other.
-func SetIndexCacheCapacity(n int) int {
-	if n < 1 {
-		n = 1
-	}
-	indexMu.Lock()
-	defer indexMu.Unlock()
-	prev := maxCachedIndexes
-	maxCachedIndexes = n
-	for len(indexFIFO) > maxCachedIndexes {
-		delete(indexCache, indexFIFO[0])
-		copy(indexFIFO, indexFIFO[1:])
-		indexFIFO = indexFIFO[:len(indexFIFO)-1]
-		obs.Inc("importance_neighbor_index_evictions_total")
-	}
-	return prev
-}
+// SetIndexCacheCapacity resizes the neighbor-index LRU (minimum 1) and
+// returns the previous capacity. Shrinking evicts the least recently used
+// ready entries immediately; each eviction is counted in
+// importance_neighbor_index_evictions_total like any other. In-flight
+// builds are never evicted by a shrink — the store trims back to the new
+// bound as they complete.
+func SetIndexCacheCapacity(n int) int { return indexStore.SetCapacity(n) }
 
-// IndexCacheCapacity returns the current FIFO capacity.
-func IndexCacheCapacity() int {
-	indexMu.Lock()
-	defer indexMu.Unlock()
-	return maxCachedIndexes
-}
+// IndexCacheCapacity returns the current LRU capacity.
+func IndexCacheCapacity() int { return indexStore.Capacity() }
 
 // sharedNeighborIndex returns the cached NeighborIndex for (train, valid)
 // — valid rows are the queries — building and caching it on a miss. Safe
-// for concurrent use.
+// for concurrent use; concurrent callers for the same geometry share one
+// build.
 func sharedNeighborIndex(train, valid *ml.Dataset, workers int) (*ml.NeighborIndex, error) {
-	indexMu.Lock()
-	search := indexSearch
-	indexMu.Unlock()
+	search := NeighborSearch()
 	key := indexKey{
 		trainFP:  train.X.Fingerprint(),
 		validFP:  valid.X.Fingerprint(),
 		searchFP: search.Fingerprint(),
 	}
-	indexMu.Lock()
-	if e, ok := indexCache[key]; ok {
-		indexMu.Unlock()
-		select {
-		case <-e.ready:
-		default:
-			obs.Inc("importance_neighbor_index_waits_total")
-			<-e.ready
-		}
-		if e.err != nil {
-			return nil, e.err
-		}
-		obs.Inc("importance_neighbor_index_hits_total")
-		return e.ix, nil
-	}
-	obs.Inc("importance_neighbor_index_misses_total")
-	e := &indexEntry{ready: make(chan struct{})}
-	// Reserve the slot before building so the map never exceeds
-	// maxCachedIndexes entries, even while builds are in flight.
-	if len(indexFIFO) >= maxCachedIndexes {
-		delete(indexCache, indexFIFO[0])
-		// copy-down instead of re-slicing: indexFIFO = indexFIFO[1:] would
-		// keep the evicted head slot reachable through the backing array
-		copy(indexFIFO, indexFIFO[1:])
-		indexFIFO = indexFIFO[:len(indexFIFO)-1]
-		obs.Inc("importance_neighbor_index_evictions_total")
-	}
-	indexCache[key] = e
-	indexFIFO = append(indexFIFO, key)
-	indexMu.Unlock()
-
-	ix, err := ml.NewNeighborIndexSearch(train, valid, workers, search)
-	e.ix, e.err = ix, err
-	close(e.ready)
-	if err != nil {
-		// Drop the failed flight (unless Reset or eviction already replaced
-		// it) so the next caller retries instead of caching the error.
-		indexMu.Lock()
-		if indexCache[key] == e {
-			delete(indexCache, key)
-			for i, k := range indexFIFO {
-				if k == key {
-					copy(indexFIFO[i:], indexFIFO[i+1:])
-					indexFIFO = indexFIFO[:len(indexFIFO)-1]
-					break
-				}
-			}
-		}
-		indexMu.Unlock()
-		return nil, err
-	}
-	return ix, nil
+	return indexStore.GetOrBuild(key, func() (*ml.NeighborIndex, error) {
+		return ml.NewNeighborIndexSearch(train, valid, workers, search)
+	})
 }
 
 // ResetNeighborIndexCache drops every cached index. Intended for tests and
 // for long-lived processes that want to bound memory between workloads.
 // In-flight builds are unaffected: their waiters still receive the built
 // index, it just is no longer cached afterwards.
-func ResetNeighborIndexCache() {
-	indexMu.Lock()
-	defer indexMu.Unlock()
-	indexCache = map[indexKey]*indexEntry{}
-	indexFIFO = nil
-}
+func ResetNeighborIndexCache() { indexStore.Reset() }

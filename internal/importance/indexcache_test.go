@@ -120,24 +120,20 @@ func TestSharedNeighborIndexLabelAndFeatureMutations(t *testing.T) {
 	}
 }
 
-// The cache is bounded: old entries are evicted FIFO.
+// The cache is bounded: once more geometries than the capacity have been
+// built, the store holds exactly the capacity.
 func TestSharedNeighborIndexCacheEviction(t *testing.T) {
 	ResetNeighborIndexCache()
 	defer ResetNeighborIndexCache()
-	for i := 0; i < maxCachedIndexes+2; i++ {
+	for i := 0; i < IndexCacheCapacity()+2; i++ {
 		train := blobs(20, 1.5, int64(910+i))
 		valid := blobs(10, 1.5, int64(930+i))
 		if _, err := KNNShapley(3, train, valid); err != nil {
 			t.Fatal(err)
 		}
 	}
-	indexMu.Lock()
-	defer indexMu.Unlock()
-	if len(indexCache) != maxCachedIndexes {
-		t.Errorf("cache holds %d entries, want %d", len(indexCache), maxCachedIndexes)
-	}
-	if len(indexFIFO) != maxCachedIndexes {
-		t.Errorf("FIFO holds %d entries, want %d", len(indexFIFO), maxCachedIndexes)
+	if got, want := indexStore.Len(), IndexCacheCapacity(); got != want {
+		t.Errorf("cache holds %d entries, want %d", got, want)
 	}
 }
 
@@ -190,8 +186,11 @@ func TestSharedNeighborIndexSingleflight(t *testing.T) {
 
 // Concurrent builds for DIFFERENT geometries must not serialize behind one
 // global lock held across the build: under churn from many goroutines the
-// cache stays within its bound at every observation point and every evicted
-// slot is accounted for in the eviction counter.
+// cache stays within capacity + in-flight builds at every observation
+// point (in-flight entries are never evicted, so concurrent distinct
+// builds may transiently overflow the bound), trims back to the capacity
+// once the churn settles, and every evicted slot is accounted for in the
+// eviction counter.
 func TestSharedNeighborIndexChurnBounded(t *testing.T) {
 	obs.Enable()
 	defer obs.Disable()
@@ -209,6 +208,7 @@ func TestSharedNeighborIndexChurnBounded(t *testing.T) {
 	}
 	const goroutines = 6
 	const iters = 8
+	bound := IndexCacheCapacity() + goroutines
 	var wg sync.WaitGroup
 	for g := 0; g < goroutines; g++ {
 		wg.Add(1)
@@ -220,11 +220,8 @@ func TestSharedNeighborIndexChurnBounded(t *testing.T) {
 					t.Error(err)
 					return
 				}
-				indexMu.Lock()
-				nc, nf := len(indexCache), len(indexFIFO)
-				indexMu.Unlock()
-				if nc > maxCachedIndexes || nf > maxCachedIndexes {
-					t.Errorf("cache grew past bound: map %d, fifo %d, max %d", nc, nf, maxCachedIndexes)
+				if nc := indexStore.Len(); nc > bound {
+					t.Errorf("cache grew past bound: %d entries, max %d + %d in flight", nc, IndexCacheCapacity(), goroutines)
 					return
 				}
 			}
@@ -232,45 +229,92 @@ func TestSharedNeighborIndexChurnBounded(t *testing.T) {
 	}
 	wg.Wait()
 
-	indexMu.Lock()
-	nc, nf := len(indexCache), len(indexFIFO)
-	indexMu.Unlock()
-	if nc != maxCachedIndexes || nf != maxCachedIndexes {
-		t.Errorf("final cache size map %d fifo %d, want %d", nc, nf, maxCachedIndexes)
+	if nc, want := indexStore.Len(), IndexCacheCapacity(); nc != want {
+		t.Errorf("final cache size %d, want %d", nc, want)
 	}
 	misses := obs.Default().Counter("importance_neighbor_index_misses_total").Value()
 	evictions := obs.Default().Counter("importance_neighbor_index_evictions_total").Value()
 	if misses < datasets {
 		t.Errorf("misses = %d, want >= %d distinct geometries", misses, datasets)
 	}
-	if evictions != misses-int64(maxCachedIndexes) {
-		t.Errorf("evictions = %d, want misses-max = %d", evictions, misses-int64(maxCachedIndexes))
+	if evictions != misses-int64(IndexCacheCapacity()) {
+		t.Errorf("evictions = %d, want misses-cap = %d", evictions, misses-int64(IndexCacheCapacity()))
 	}
 }
 
-// The FIFO eviction must not retain evicted keys through the backing array
-// (the old indexFIFO = indexFIFO[1:] bug): after heavy churn the queue's
-// capacity stays small instead of growing with every insertion.
-func TestSharedNeighborIndexFIFONoLeak(t *testing.T) {
+// REGRESSION for the in-flight eviction bug: under the old FIFO cache,
+// inserting a second geometry at capacity 1 evicted the *in-flight* head
+// entry, detaching the key from its running build — so any same-key caller
+// arriving afterwards silently started a duplicate build of the same
+// geometry. The store must never evict an in-flight entry: concurrent
+// same-key callers during churn coalesce into exactly one build (one miss
+// for the churned geometry plus one per distinct churn geometry, no more).
+func TestSharedNeighborIndexInFlightSurvivesChurn(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+	defer obs.Reset()
+	obs.Reset()
 	ResetNeighborIndexCache()
 	defer ResetNeighborIndexCache()
-	const churn = 24
-	for i := 0; i < churn; i++ {
-		train := blobs(12, 1.5, int64(1200+i))
-		valid := blobs(6, 1.5, int64(1300+i))
-		if _, err := sharedNeighborIndex(train, valid, 1); err != nil {
+	prev := SetIndexCacheCapacity(1)
+	defer SetIndexCacheCapacity(prev)
+
+	// A is deliberately large so its index build is still in flight while
+	// the tiny churn geometry B is built and evicted around it.
+	trainA := blobs(1500, 1.5, 2001)
+	validA := blobs(700, 1.5, 2002)
+	trainB := blobs(10, 1.5, 2003)
+	validB := blobs(5, 1.5, 2004)
+
+	const wave = 6
+	indexes := make([]*ml.NeighborIndex, wave)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for c := 0; c < wave; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			<-start
+			ix, err := sharedNeighborIndex(trainA, validA, 1)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			indexes[c] = ix
+		}(c)
+	}
+	close(start)
+	// churn while A's build is (very likely) in flight: build B at
+	// capacity 1, which under the old FIFO evicted in-flight A, and
+	// exercise the SetIndexCacheCapacity shrink path too
+	if _, err := sharedNeighborIndex(trainB, validB, 1); err != nil {
+		t.Fatal(err)
+	}
+	SetIndexCacheCapacity(1)
+	// stragglers arrive strictly after the churn: they must join A's
+	// flight or hit its cached entry, never rebuild
+	stragglers := make([]*ml.NeighborIndex, 2)
+	for c := range stragglers {
+		ix, err := sharedNeighborIndex(trainA, validA, 1)
+		if err != nil {
 			t.Fatal(err)
 		}
+		stragglers[c] = ix
 	}
-	indexMu.Lock()
-	defer indexMu.Unlock()
-	if len(indexFIFO) != maxCachedIndexes {
-		t.Fatalf("fifo len = %d, want %d", len(indexFIFO), maxCachedIndexes)
+	wg.Wait()
+	for c := 1; c < wave; c++ {
+		if indexes[c] != indexes[0] {
+			t.Fatalf("caller %d got a different index instance", c)
+		}
 	}
-	// copy-down keeps the queue in place; it must never have grown beyond
-	// one append past the bound
-	if cap(indexFIFO) > 2*maxCachedIndexes {
-		t.Errorf("fifo cap = %d after %d churns: evicted heads are being retained", cap(indexFIFO), churn)
+	for c, ix := range stragglers {
+		if ix != indexes[0] {
+			t.Fatalf("straggler %d got a different index instance: geometry A was rebuilt", c)
+		}
+	}
+	misses := obs.Default().Counter("importance_neighbor_index_misses_total").Value()
+	if misses != 2 { // one for A, one for B — a third means A rebuilt
+		t.Errorf("misses = %d, want 2 (A built once, B built once)", misses)
 	}
 }
 
@@ -301,20 +345,14 @@ func TestIndexCacheCapacityConfigurable(t *testing.T) {
 	if want := int64(builds - 2); evictions != want {
 		t.Errorf("evictions = %d, want builds-cap = %d", evictions, want)
 	}
-	indexMu.Lock()
-	nc := len(indexCache)
-	indexMu.Unlock()
-	if nc != 2 {
+	if nc := indexStore.Len(); nc != 2 {
 		t.Errorf("cache holds %d entries, want the configured cap 2", nc)
 	}
 
 	// shrinking below the current population evicts immediately
 	SetIndexCacheCapacity(1)
-	indexMu.Lock()
-	nc, nf := len(indexCache), len(indexFIFO)
-	indexMu.Unlock()
-	if nc != 1 || nf != 1 {
-		t.Errorf("after shrink: map %d fifo %d, want 1", nc, nf)
+	if nc := indexStore.Len(); nc != 1 {
+		t.Errorf("after shrink: %d entries, want 1", nc)
 	}
 	if got := obs.Default().Counter("importance_neighbor_index_evictions_total").Value(); got != evictions+1 {
 		t.Errorf("shrink evictions = %d, want %d", got, evictions+1)

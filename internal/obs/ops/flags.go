@@ -71,6 +71,20 @@ type Session struct {
 // free. cmd names the binary in the ledger header; stderr receives the
 // one-line "serving telemetry on ADDR" notice (nil = os.Stderr).
 func (f *Flags) Start(cmd string, stderr io.Writer) (*Session, error) {
+	return f.start(cmd, stderr, true)
+}
+
+// StartDaemon is Start for long-running servers that own their signal
+// handling: the session is identical — ledger, dumps, optional -ops
+// server — but no interrupt flusher is installed, leaving SIGINT/SIGTERM
+// entirely to the daemon's graceful-drain path. (With Start, the
+// session's mid-run interrupt handler would race the daemon's drain and
+// kill the process with exit 130 the moment the flush finished.)
+func (f *Flags) StartDaemon(cmd string, stderr io.Writer) (*Session, error) {
+	return f.start(cmd, stderr, false)
+}
+
+func (f *Flags) start(cmd string, stderr io.Writer, handleSignals bool) (*Session, error) {
 	s := &Session{flags: f, stderr: stderr, waitCh: make(chan struct{}, 1)}
 	if s.stderr == nil {
 		s.stderr = os.Stderr
@@ -99,9 +113,11 @@ func (f *Flags) Start(cmd string, stderr io.Writer) (*Session, error) {
 		s.server = srv
 		fmt.Fprintf(s.stderr, "ops: serving telemetry on %s\n", srv.Addr())
 	}
-	s.sigCh = make(chan os.Signal, 2)
-	signal.Notify(s.sigCh, os.Interrupt, syscall.SIGTERM)
-	go s.watchSignals()
+	if handleSignals {
+		s.sigCh = make(chan os.Signal, 2)
+		signal.Notify(s.sigCh, os.Interrupt, syscall.SIGTERM)
+		go s.watchSignals()
+	}
 	return s, nil
 }
 
@@ -128,7 +144,9 @@ func (s *Session) watchSignals() {
 // files, closes the ledger, and stops the ops server. It returns the
 // first teardown error.
 func (s *Session) Close() error {
-	if s.flags.Wait && s.server != nil {
+	// -ops-wait depends on the session's own interrupt handler to release
+	// the wait; without one (StartDaemon) it would block forever.
+	if s.flags.Wait && s.server != nil && s.sigCh != nil {
 		fmt.Fprintf(s.stderr, "ops: run complete; telemetry stays on %s until interrupt\n", s.server.Addr())
 		s.waiting.Store(true)
 		<-s.waitCh

@@ -18,6 +18,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 	"time"
 
 	"nde/internal/obs"
@@ -52,33 +53,50 @@ func (c Config) tracer() *obs.Tracer {
 	return obs.DefaultTracer()
 }
 
+// readOnly gates a telemetry handler to GET and HEAD. The ops routes are
+// all reads; anything else is rejected with 405 and an Allow header so the
+// handler set composes predictably into larger muxes (a POST routed to
+// /metrics must not silently scrape).
+func readOnly(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		h(w, r)
+	}
+}
+
 // Handler returns the ops-plane handler set on a fresh mux. It is safe to
-// serve while the observed run is mutating the registry and tracer.
+// serve while the observed run is mutating the registry and tracer. All
+// routes accept only GET and HEAD (405 otherwise), except the pprof
+// handlers, which manage their own methods (pprof symbol lookups POST).
 func Handler(cfg Config) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("/metrics", readOnly(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		// Errors past the first byte are undetectable; WritePrometheus
 		// only fails on writer errors, which means the client went away.
 		_ = cfg.registry().WritePrometheus(w)
-	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("/healthz", readOnly(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
-	})
-	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("/readyz", readOnly(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		if cfg.Ready != nil && !cfg.Ready() {
 			http.Error(w, "not ready", http.StatusServiceUnavailable)
 			return
 		}
 		fmt.Fprintln(w, "ready")
-	})
-	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("/trace", readOnly(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("Content-Disposition", `attachment; filename="nde-trace.json"`)
 		_ = cfg.tracer().WriteChromeTrace(w)
-	})
+	}))
 	if cfg.Pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -91,8 +109,12 @@ func Handler(cfg Config) http.Handler {
 
 // Server is a running ops plane bound to a TCP address.
 type Server struct {
-	ln  net.Listener
-	srv *http.Server
+	ln   net.Listener
+	srv  *http.Server
+	addr string // captured at bind time so Addr stays valid after Close
+
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // Serve binds addr (":0" picks a free port) and serves the ops handler
@@ -113,24 +135,32 @@ func Serve(addr string, cfg Config) (*Server, error) {
 		// down the run it observes.
 		_ = srv.Serve(ln)
 	}()
-	return &Server{ln: ln, srv: srv}, nil
+	return &Server{ln: ln, srv: srv, addr: ln.Addr().String()}, nil
 }
 
-// Addr returns the bound address, e.g. "127.0.0.1:43657".
+// Addr returns the bound address, e.g. "127.0.0.1:43657". It remains
+// valid after Close, so teardown logging can still name the server.
 func (s *Server) Addr() string {
-	if s == nil || s.ln == nil {
+	if s == nil {
 		return ""
 	}
-	return s.ln.Addr().String()
+	return s.addr
 }
 
 // Close stops accepting connections and closes active ones. Safe to call
-// on a nil server and safe to call twice.
+// on a nil server and safe for concurrent and repeated calls: the
+// underlying close runs once and every caller observes its error. (The
+// old implementation read and niled s.srv with no synchronization, a data
+// race under concurrent Close — exactly what a daemon's signal handler
+// racing its defer does.)
 func (s *Server) Close() error {
-	if s == nil || s.srv == nil {
+	if s == nil {
 		return nil
 	}
-	err := s.srv.Close()
-	s.srv = nil
-	return err
+	s.closeOnce.Do(func() {
+		if s.srv != nil {
+			s.closeErr = s.srv.Close()
+		}
+	})
+	return s.closeErr
 }

@@ -83,6 +83,74 @@ func TestTraceEndpoint(t *testing.T) {
 	}
 }
 
+// Every ops route is a read; non-GET/HEAD methods are rejected with 405
+// and an Allow header, while GET and HEAD keep working.
+func TestMethodGuard(t *testing.T) {
+	h := Handler(Config{})
+	paths := []string{"/metrics", "/healthz", "/readyz", "/trace"}
+	for _, path := range paths {
+		for _, method := range []string{http.MethodPost, http.MethodPut, http.MethodDelete, http.MethodPatch} {
+			req := httptest.NewRequest(method, path, strings.NewReader("x"))
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != http.StatusMethodNotAllowed {
+				t.Errorf("%s %s = %d, want 405", method, path, rec.Code)
+			}
+			if allow := rec.Header().Get("Allow"); allow != "GET, HEAD" {
+				t.Errorf("%s %s Allow = %q, want \"GET, HEAD\"", method, path, allow)
+			}
+		}
+		for _, method := range []string{http.MethodGet, http.MethodHead} {
+			req := httptest.NewRequest(method, path, nil)
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code == http.StatusMethodNotAllowed {
+				t.Errorf("%s %s = 405, want it allowed", method, path)
+			}
+		}
+	}
+}
+
+// REGRESSION: Close used to read and nil s.srv unsynchronized, a data race
+// when a signal handler and a defer both tore the server down. Now it is
+// idempotent and race-free, and Addr stays valid afterwards.
+func TestConcurrentClose(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	if addr == "" {
+		t.Fatal("empty address from live server")
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = srv.Close()
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("concurrent close %d: %v", i, err)
+		}
+	}
+	if got := srv.Addr(); got != addr {
+		t.Errorf("Addr after Close = %q, want %q", got, addr)
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("close after concurrent closes: %v", err)
+	}
+	// nil receiver is a no-op on both methods
+	var nilSrv *Server
+	if nilSrv.Addr() != "" || nilSrv.Close() != nil {
+		t.Error("nil server methods are not no-ops")
+	}
+}
+
 func TestPprofGated(t *testing.T) {
 	if rec := get(t, Handler(Config{}), "/debug/pprof/"); rec.Code != http.StatusNotFound {
 		t.Errorf("pprof without opt-in = %d, want 404", rec.Code)

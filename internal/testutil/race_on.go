@@ -1,0 +1,9 @@
+//go:build race
+
+package testutil
+
+// RaceEnabled reports whether the binary was built with the race
+// detector. Timing-sensitive assertions can consult it: instrumentation
+// multiplies memory-access cost unevenly across code paths, so wall-clock
+// orderings measured under -race do not reflect production builds.
+const RaceEnabled = true

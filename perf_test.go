@@ -5,6 +5,7 @@ import (
 
 	"nde"
 	"nde/internal/ml"
+	"nde/internal/testutil"
 )
 
 // Satellite of the ANN PR: PredictBatch once LOST to row-by-row prediction
@@ -59,7 +60,16 @@ func TestPredictBatchBeatsRowwise(t *testing.T) {
 	t.Logf("batch:   %.0f ns/op, %d B/op, %d allocs/op", batchNs, batchBytes, batchAllocs)
 	t.Logf("rowwise: %.0f ns/op, %d B/op, %d allocs/op", rowNs, rowBytes, rowAllocs)
 	if batchNs > rowNs {
-		t.Errorf("batched prediction is slower than rowwise: %.0f vs %.0f ns/op", batchNs, rowNs)
+		// Race instrumentation multiplies memory-access cost unevenly
+		// across the two paths, so the wall-clock ordering is only
+		// meaningful (and only asserted) in uninstrumented builds; the
+		// alloc assertions below hold either way and are what guard
+		// against the per-query scratch regression returning.
+		if testutil.RaceEnabled {
+			t.Logf("timing ordering not asserted under -race: batch %.0f vs rowwise %.0f ns/op", batchNs, rowNs)
+		} else {
+			t.Errorf("batched prediction is slower than rowwise: %.0f vs %.0f ns/op", batchNs, rowNs)
+		}
 	}
 	if batchAllocs >= rowAllocs {
 		t.Errorf("batched prediction allocates %d times/op, rowwise %d — batch must be strictly lower", batchAllocs, rowAllocs)

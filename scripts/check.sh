@@ -41,6 +41,8 @@ fi
 if [ "${NDE_SKIP_SMOKE:-0}" != "1" ]; then
     echo "==> scripts/ops_smoke.sh"
     sh scripts/ops_smoke.sh
+    echo "==> scripts/serve_smoke.sh"
+    sh scripts/serve_smoke.sh
 fi
 
 # opt-in: perf-regression gate — fresh benchmark run compared against the

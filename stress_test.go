@@ -12,8 +12,12 @@ package nde_test
 // NDE_STRESS=1 (as `make stress` does) for the heavier sweep.
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"math"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"sync"
 	"testing"
@@ -21,6 +25,7 @@ import (
 
 	"nde"
 	"nde/internal/datagen"
+	"nde/internal/serve"
 )
 
 // stressScale returns (datasets, goroutines, iterations per goroutine).
@@ -169,6 +174,232 @@ func (fx *stressFixture) checkCleaning() error {
 		}
 	}
 	return nil
+}
+
+// serveStressRequest builds a small deterministic two-cluster registration
+// body; seedish shifts the geometry so distinct datasets hash to distinct
+// content-addressed ids.
+func serveStressRequest(train, valid, seedish int) serve.RegisterRequest {
+	mk := func(n, off int) *serve.MatrixSpec {
+		x := make([][]float64, n)
+		y := make([]int, n)
+		for i := range x {
+			c := i % 2
+			b := float64(c*4 + seedish)
+			j := float64((i+off)%7) * 0.1
+			x[i] = []float64{b + j, b - j, b + 2*j}
+			y[i] = c
+		}
+		return &serve.MatrixSpec{X: x, Y: y}
+	}
+	return serve.RegisterRequest{Train: mk(train, 0), Valid: mk(valid, 3)}
+}
+
+// serveBaseline is one registered dataset's first-response baselines; every
+// concurrent response must match them bit-for-bit (JSON encodes float64
+// exactly, so equality survives the wire).
+type serveBaseline struct {
+	id     string
+	rows   int
+	scores []float64
+	whatIf serve.WhatIfResponse
+}
+
+// TestStressServerBacked hammers the serving core over real HTTP: every
+// goroutine loops registrations (idempotent re-register), sync and async
+// importance, and what-ifs across two datasets, comparing each response
+// bit-for-bit against the first one, while the cache-churn goroutine forces
+// concurrent index rebuilds underneath the score store.
+func TestStressServerBacked(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress gate skipped in -short mode")
+	}
+	_, goroutines, iters := stressScale()
+	nde.ResetNeighborIndexCache()
+	defer nde.ResetNeighborIndexCache()
+
+	core := serve.NewServer(serve.Config{Slots: goroutines + 2, Queue: 4 * goroutines})
+	ts := httptest.NewServer(core.Handler())
+	defer ts.Close()
+
+	post := func(path string, body, out any) error {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(buf))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+			var e serve.ErrorResponse
+			_ = json.NewDecoder(resp.Body).Decode(&e)
+			return fmt.Errorf("%s: status %d class %q: %s", path, resp.StatusCode, e.Class, e.Error)
+		}
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+
+	variantsFor := func(rows int) []serve.WhatIfVariant {
+		all := make([]int, rows)
+		for i := range all {
+			all[i] = i
+		}
+		return []serve.WhatIfVariant{
+			{Name: "drop-four", Remove: []int{0, 1, 2, 3}},
+			{Name: "everything", Remove: all}, // NaN-sentinel path: null metric
+		}
+	}
+
+	bases := make([]*serveBaseline, 2)
+	for d := range bases {
+		req := serveStressRequest(60+10*d, 20, d)
+		var reg serve.RegisterResponse
+		if err := post("/v1/datasets", req, &reg); err != nil {
+			t.Fatal(err)
+		}
+		b := &serveBaseline{id: reg.ID, rows: reg.TrainRows}
+		var imp serve.ImportanceResponse
+		if err := post("/v1/importance", serve.ImportanceRequest{Dataset: b.id, K: 5}, &imp); err != nil {
+			t.Fatal(err)
+		}
+		b.scores = imp.Scores
+		if err := post("/v1/whatif", serve.WhatIfRequest{Dataset: b.id, Variants: variantsFor(b.rows)}, &b.whatIf); err != nil {
+			t.Fatal(err)
+		}
+		bases[d] = b
+	}
+
+	checkScores := func(b *serveBaseline, got []float64) error {
+		if len(got) != len(b.scores) {
+			return fmt.Errorf("dataset %s: %d scores, want %d", b.id, len(got), len(b.scores))
+		}
+		for i := range got {
+			if math.Float64bits(got[i]) != math.Float64bits(b.scores[i]) {
+				return fmt.Errorf("dataset %s: score %d = %v, baseline %v", b.id, i, got[i], b.scores[i])
+			}
+		}
+		return nil
+	}
+	checkImportance := func(b *serveBaseline, async bool) error {
+		if !async {
+			var imp serve.ImportanceResponse
+			if err := post("/v1/importance", serve.ImportanceRequest{Dataset: b.id, K: 5}, &imp); err != nil {
+				return err
+			}
+			return checkScores(b, imp.Scores)
+		}
+		var acc serve.AsyncAccepted
+		if err := post("/v1/importance", serve.ImportanceRequest{Dataset: b.id, K: 5, Async: true}, &acc); err != nil {
+			return err
+		}
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			resp, err := http.Get(ts.URL + "/v1/runs/" + acc.Run)
+			if err != nil {
+				return err
+			}
+			var poll struct {
+				State  string                   `json:"state"`
+				Result serve.ImportanceResponse `json:"result"`
+				Error  string                   `json:"error"`
+			}
+			err = json.NewDecoder(resp.Body).Decode(&poll)
+			resp.Body.Close()
+			if err != nil {
+				return err
+			}
+			switch poll.State {
+			case "done":
+				return checkScores(b, poll.Result.Scores)
+			case "error":
+				return fmt.Errorf("run %s failed: %s", acc.Run, poll.Error)
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("run %s still %q after 30s", acc.Run, poll.State)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	checkWhatIf := func(b *serveBaseline) error {
+		var got serve.WhatIfResponse
+		if err := post("/v1/whatif", serve.WhatIfRequest{Dataset: b.id, Variants: variantsFor(b.rows)}, &got); err != nil {
+			return err
+		}
+		if math.Float64bits(got.Baseline) != math.Float64bits(b.whatIf.Baseline) || len(got.Results) != len(b.whatIf.Results) {
+			return fmt.Errorf("dataset %s: what-if shape/baseline drifted", b.id)
+		}
+		for i := range got.Results {
+			w, base := got.Results[i], b.whatIf.Results[i]
+			if w.Name != base.Name || w.Surviving != base.Surviving ||
+				(w.Metric == nil) != (base.Metric == nil) {
+				return fmt.Errorf("dataset %s: variant %d = %+v, baseline %+v", b.id, i, w, base)
+			}
+			if w.Metric != nil && math.Float64bits(*w.Metric) != math.Float64bits(*base.Metric) {
+				return fmt.Errorf("dataset %s: variant %d metric %v, baseline %v", b.id, i, *w.Metric, *base.Metric)
+			}
+		}
+		return nil
+	}
+	checkRegister := func(d int, b *serveBaseline) error {
+		var reg serve.RegisterResponse
+		if err := post("/v1/datasets", serveStressRequest(60+10*d, 20, d), &reg); err != nil {
+			return err
+		}
+		if reg.ID != b.id {
+			return fmt.Errorf("re-register: id %s, want %s (content addressing drifted)", reg.ID, b.id)
+		}
+		return nil
+	}
+
+	errc := make(chan error, goroutines)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				for d := range bases {
+					b := bases[(g+d)%len(bases)]
+					checks := []func() error{
+						func() error { return checkRegister((g+d)%len(bases), b) },
+						func() error { return checkImportance(b, (g+it)%2 == 1) },
+						func() error { return checkWhatIf(b) },
+					}
+					for c := 0; c < len(checks); c++ {
+						if err := checks[(g+it+c)%len(checks)](); err != nil {
+							select {
+							case errc <- err:
+							default:
+							}
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	var churn sync.WaitGroup
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		for {
+			select {
+			case <-done:
+				return
+			case <-time.After(5 * time.Millisecond):
+				nde.ResetNeighborIndexCache()
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+	churn.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
 }
 
 // TestStressConcurrentFacade is the gate itself: every goroutine loops over

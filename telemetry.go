@@ -1,12 +1,10 @@
 package nde
 
 import (
-	"errors"
 	"time"
 
 	"nde/internal/frame"
 	"nde/internal/ml"
-	"nde/internal/nderr"
 	"nde/internal/obs"
 )
 
@@ -21,29 +19,10 @@ import (
 // With no ledger installed the hooks cost one atomic load and allocate
 // nothing, matching the obs no-op contract.
 
-// errClass maps an error to the nderr sentinel class name recorded in
-// ledger "op" records ("" = success). Specific sentinels take precedence
-// over the family root; errors outside the family report "error".
-func errClass(err error) string {
-	switch {
-	case err == nil:
-		return ""
-	case errors.Is(err, nderr.ErrNonFinite):
-		return "non_finite"
-	case errors.Is(err, nderr.ErrEmptyInput):
-		return "empty_input"
-	case errors.Is(err, nderr.ErrShapeMismatch):
-		return "shape_mismatch"
-	case errors.Is(err, nderr.ErrSingleClass):
-		return "single_class"
-	case errors.Is(err, nderr.ErrBadK):
-		return "bad_k"
-	case errors.Is(err, nderr.ErrDegenerateInput):
-		return "degenerate_input"
-	default:
-		return "error"
-	}
-}
+// errClass is the ledger-record spelling of ErrorClass (errors.go); the
+// exported function is the single source of truth for class names so the
+// ledger and the nde-serve error envelope can never drift apart.
+func errClass(err error) string { return ErrorClass(err) }
 
 // recordOp appends the facade-call ledger record. It is designed for
 //
