@@ -1,9 +1,15 @@
 # Standard entry points; see README.md § Testing.
 
-.PHONY: build test check bench bench-all bench-diff stress ops-smoke serve-smoke
+.PHONY: build test lint check bench bench-all bench-diff stress ops-smoke serve-smoke
 
 build:
 	go build ./...
+
+# contract-enforcing static analysis: determinism, panicsite, errwrap,
+# obsguard over the whole module (DESIGN.md §10). `-update` regenerates
+# the scripts/lint/ allowlists after review.
+lint:
+	go run ./cmd/nde-lint
 
 # tier-1: what CI must keep green
 test:

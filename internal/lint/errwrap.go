@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+)
+
+// Errwrap guards the typed error contract on the wire-facing surface:
+// the facade (root package) and internal/serve promise that every error
+// they produce is classifiable by nde.ErrorClass, which matches nderr
+// sentinels with errors.Is. An error minted inside a function body with
+// errors.New or a %w-less fmt.Errorf has no sentinel in its chain — it
+// classifies as the opaque "error" and the ledger and JSON envelope lose
+// the corruption class. Package-level `errors.New` sentinels are fine
+// (they are roots, like nderr's own family) — the analyzer only flags
+// ad-hoc construction inside functions.
+var Errwrap = &Analyzer{
+	Name:    "errwrap",
+	Doc:     "facade/serve errors must wrap a sentinel via %w so nde.ErrorClass can classify them",
+	Applies: pkgSet("", "internal/serve"),
+	Run: func(p *Pass) {
+		p.InspectFuncs(func(fn *ast.FuncDecl, n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(p.Pkg.Info, call)
+			switch {
+			case isPkgFunc(callee, "errors") && callee.Name() == "New":
+				p.Report(call, fn, "errors.New inside %s — wrap an nderr sentinel with fmt.Errorf(...%%w...) or hoist a package-level sentinel", fn.Name.Name)
+			case isPkgFunc(callee, "fmt") && callee.Name() == "Errorf":
+				if format, ok := constFormat(p, call); ok && !hasWrapVerb(format) {
+					p.Report(call, fn, "fmt.Errorf without %%w inside %s — wrap an nderr sentinel so nde.ErrorClass keeps classifying it", fn.Name.Name)
+				}
+			}
+			return true
+		})
+	},
+}
+
+// constFormat extracts the constant format string of a fmt.Errorf call.
+func constFormat(p *Pass, call *ast.CallExpr) (string, bool) {
+	if len(call.Args) == 0 {
+		return "", false
+	}
+	tv, ok := p.Pkg.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// hasWrapVerb reports whether a fmt format string contains a %w verb
+// (including forms like %[1]w), ignoring literal %%.
+func hasWrapVerb(format string) bool {
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		// Skip flags, width, precision, and argument indexes up to the verb.
+		for i < len(format) {
+			c := format[i]
+			if c == '%' {
+				break // literal %%
+			}
+			if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') {
+				if c == 'w' {
+					return true
+				}
+				break
+			}
+			i++
+		}
+	}
+	return false
+}

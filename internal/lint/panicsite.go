@@ -1,0 +1,37 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Panicsite is the AST-accurate replacement for scripts/panic_audit.sh:
+// every panic() call that sits inside an exported, non-Must* top-level
+// function (or method — the awk scanner dropped receivers, and so does
+// the key format) must be allowlisted in scripts/lint/panicsite.txt.
+//
+// The repo's error-handling contract keeps panics only for programmer
+// bugs: Must* helpers, and internal kernels whose preconditions are
+// validated upstream (README "Error handling contract"). An allowlist
+// entry is the reviewable record of that choice. Unlike the awk scanner,
+// the AST walk attributes panics correctly through multi-line
+// signatures, closures, and method receivers, and ignores shadowed
+// `panic` identifiers.
+var Panicsite = &Analyzer{
+	Name: "panicsite",
+	Doc:  "panic() inside an exported non-Must* function must be an allowlisted programmer-bug precondition",
+	Run: func(p *Pass) {
+		p.InspectFuncs(func(fn *ast.FuncDecl, n ast.Node) bool {
+			name := fn.Name.Name
+			if !ast.IsExported(name) || strings.HasPrefix(name, "Must") {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isBuiltin(p.Pkg.Info, call, "panic") {
+				return true
+			}
+			p.Report(call, fn, "panic in exported function %s — return an error (nderr sentinel) or allowlist a deliberate programmer-bug precondition", name)
+			return true
+		})
+	},
+}

@@ -1,0 +1,88 @@
+// Package fixture exercises the determinism analyzer. Deliberately
+// unformatted in places — the gofmt gate excludes testdata.
+package fixture
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// SumScores folds float rounding in map order — the classic silent
+// nondeterminism.
+func SumScores(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want "map iteration order escapes in SumScores via floating-point accumulation"
+		total += v
+	}
+	return total
+}
+
+// SortedKeys is the sanctioned collect-then-sort pattern: no finding.
+func SortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// CollectUnsorted lets map order escape through an unsorted slice.
+func CollectUnsorted(m map[string]int) []int {
+	var out []int
+	for _, v := range m { // want "map iteration order escapes in CollectUnsorted via append to out"
+		out = append(out, v)
+	}
+	return out
+}
+
+// Normalize updates each entry once, keyed by the range variable: order
+// cannot matter, no finding.
+func Normalize(m map[string]float64, n float64) {
+	for k := range m {
+			m[k] /= n
+	}
+}
+
+// LocalAccumulator resets its accumulator every iteration: no finding.
+func LocalAccumulator(m map[string][]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, vs := range m {
+		s := 0.0
+		for _, v := range vs {
+			s += v
+		}
+		out[k] = s
+	}
+	return out
+}
+
+// PrintAll writes output in map order.
+func PrintAll(m map[int]int) {
+	for k, v := range m { // want "map iteration order escapes in PrintAll via fmt.Println output"
+		fmt.Println(k, v)
+	}
+}
+
+// Stamp reads the wall clock.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want "time.Now in Stamp"
+}
+
+// Roll uses the process-global generator.
+func Roll() int {
+	return rand.Intn(6) // want `global math/rand.Intn in Roll`
+}
+
+// Seeded uses the sanctioned seeded generator: no finding.
+func Seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(6)
+}
+
+// Spawn launches a raw goroutine outside internal/par.
+func Spawn(f func()) {
+	go f() // want "raw go statement in Spawn"
+}

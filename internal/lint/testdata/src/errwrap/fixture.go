@@ -1,0 +1,42 @@
+// Package fixture exercises the errwrap analyzer.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrRoot is a package-level sentinel — a legitimate error root, no
+// finding.
+var ErrRoot = errors.New("fixture: root sentinel")
+
+// Bare mints an unclassifiable error at call time.
+func Bare() error {
+	return errors.New("bare") // want "errors.New inside Bare"
+}
+
+// NoWrap formats without %w, so the chain has no sentinel.
+func NoWrap(n int) error {
+	return fmt.Errorf("bad row %d", n) // want `fmt.Errorf without %w inside NoWrap`
+}
+
+// Wrapped carries the sentinel: no finding.
+func Wrapped(n int) error {
+	return fmt.Errorf("bad row %d: %w", n, ErrRoot)
+}
+
+// EscapedPercent has %%w as a literal, not a verb.
+func EscapedPercent(err error) error {
+	return fmt.Errorf("100%%written: %v", err) // want `fmt.Errorf without %w inside EscapedPercent`
+}
+
+// IndexedWrap uses an argument-indexed wrap verb: no finding.
+func IndexedWrap(err error) error {
+	return fmt.Errorf("wrapped: %[1]w", err)
+}
+
+// Assigned catches construction outside return statements too.
+func Assigned() error {
+	err := errors.New("assigned") // want "errors.New inside Assigned"
+	return err
+}

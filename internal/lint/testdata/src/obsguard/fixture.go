@@ -1,0 +1,58 @@
+// Package fixture exercises the obsguard analyzer against the real
+// nde/internal/obs package.
+package fixture
+
+import (
+	"fmt"
+
+	"nde/internal/obs"
+)
+
+// Hot concatenates a metric name at the call site: allocates on every
+// call even with obs off.
+func Hot(name string, n int) {
+	obs.Inc(name + "_total") // want "allocates via non-constant string concatenation"
+	obs.Inc("const_total")
+	obs.SetGauge("depth", float64(n))
+}
+
+// ConstConcat is folded by the compiler: no finding.
+func ConstConcat() {
+	obs.Inc("pre" + "_total")
+}
+
+// Guarded sites only pay when telemetry is on: no finding.
+func Guarded(name string, v float64) {
+	if obs.Enabled() {
+		obs.ObserveWith("hist", v, obs.ExpBuckets(1, 2, 8))
+		obs.Inc(name + "_total")
+	}
+}
+
+// EarlyReturn uses the guard-at-the-top shape: no finding.
+func EarlyReturn(name string, n int) {
+	if !obs.Enabled() {
+		return
+	}
+	obs.SetGauge(name+"_depth", float64(n))
+}
+
+// Buckets allocates the bounds slice unguarded.
+func Buckets(v float64) {
+	obs.ObserveWith("hist", v, obs.ExpBuckets(1, 2, 8)) // want `allocates via obs.ExpBuckets`
+}
+
+// Slice passes a composite literal.
+func Slice(v float64) {
+	obs.ObserveWith("hist", v, []float64{1, 2, 4}) // want "allocates via a composite literal"
+}
+
+// Formatted builds the name with fmt.
+func Formatted(i int, v float64) {
+	obs.SetGauge(fmt.Sprintf("worker_%d", i), v) // want `allocates via fmt.Sprintf`
+}
+
+// Itoa converts with strconv-free int-to-string conversion.
+func Itoa(i int) {
+	obs.Inc("w" + string(rune(i))) // want "allocates via non-constant string concatenation"
+}

@@ -1,0 +1,55 @@
+// Package fixture exercises the panicsite analyzer with the shapes the
+// retired awk scanner mis-parsed: multi-line signatures, closures,
+// method receivers, and shadowed panic identifiers.
+package fixture
+
+// Exported has a multi-line signature.
+func Exported(
+	a int,
+	b int,
+) int {
+	if a < 0 {
+		panic("negative a") // want "panic in exported function Exported"
+	}
+	return a + b
+}
+
+// MustValue is a Must* helper: panics are its contract, no finding.
+func MustValue(x int) int {
+	if x < 0 {
+		panic("MustValue: negative")
+	}
+	return x
+}
+
+// unexported panics are internal kernels: no finding.
+func unexported(x int) int {
+	if x < 0 {
+		panic("unexported: negative")
+	}
+	return x
+}
+
+type T struct{}
+
+// Check is an exported method; the key drops the receiver like the awk
+// format did.
+func (T) Check(x int) {
+	if x < 0 {
+		panic("method precondition") // want "panic in exported function Check"
+	}
+}
+
+// Closure panics inside a function literal; attribution goes to the
+// enclosing top-level declaration.
+func Closure() func() {
+	return func() {
+		panic("from closure") // want "panic in exported function Closure"
+	}
+}
+
+// Shadowed calls a local panic, not the builtin: no finding.
+func Shadowed() {
+	panic := func(string) {}
+	panic("not the builtin")
+}

@@ -194,9 +194,16 @@ func PredictionEntropy(pred []int) float64 {
 	for _, y := range pred {
 		counts[y]++
 	}
+	// Sum in sorted label order: float rounding is order-sensitive, and
+	// map iteration order would make the entropy vary run to run.
+	labels := make([]int, 0, len(counts))
+	for y := range counts {
+		labels = append(labels, y)
+	}
+	sort.Ints(labels)
 	h := 0.0
-	for _, c := range counts {
-		p := float64(c) / float64(len(pred))
+	for _, y := range labels {
+		p := float64(counts[y]) / float64(len(pred))
 		h -= p * math.Log(p)
 	}
 	return h

@@ -33,6 +33,12 @@ type Budget struct {
 	slots  chan struct{}
 	queued atomic.Int64
 	max    int // queue bound
+
+	// Metric names, precomputed so the obs calls on the admission fast
+	// path stay zero-alloc while obs is off (enforced by nde-lint
+	// obsguard: concatenating at the call site would allocate on every
+	// Acquire/TryAcquire even with telemetry disabled).
+	mAdmitted, mShed, mInUse, mQueueDepth string
 }
 
 // NewBudget creates a budget of the given concurrency slots (minimum 1)
@@ -46,9 +52,13 @@ func NewBudget(name string, slots, queue int) *Budget {
 		queue = 0
 	}
 	return &Budget{
-		name:  name,
-		slots: make(chan struct{}, slots),
-		max:   queue,
+		name:        name,
+		slots:       make(chan struct{}, slots),
+		max:         queue,
+		mAdmitted:   name + "_admitted_total",
+		mShed:       name + "_shed_total",
+		mInUse:      name + "_in_use",
+		mQueueDepth: name + "_queue_depth",
 	}
 }
 
@@ -69,7 +79,7 @@ func (b *Budget) Acquire(ctx context.Context) error {
 	}
 	if q := b.queued.Add(1); int(q) > b.max {
 		b.queued.Add(-1)
-		obs.Inc(b.name + "_shed_total")
+		obs.Inc(b.mShed)
 		return ErrBudgetExhausted
 	}
 	b.gauges()
@@ -96,7 +106,7 @@ func (b *Budget) TryAcquire() bool {
 		b.admitted()
 		return true
 	default:
-		obs.Inc(b.name + "_shed_total")
+		obs.Inc(b.mShed)
 		return false
 	}
 }
@@ -139,7 +149,7 @@ func (b *Budget) Slots() int {
 }
 
 func (b *Budget) admitted() {
-	obs.Inc(b.name + "_admitted_total")
+	obs.Inc(b.mAdmitted)
 	b.gauges()
 }
 
@@ -147,6 +157,6 @@ func (b *Budget) gauges() {
 	if !obs.Enabled() {
 		return
 	}
-	obs.SetGauge(b.name+"_in_use", float64(len(b.slots)))
-	obs.SetGauge(b.name+"_queue_depth", float64(b.queued.Load()))
+	obs.SetGauge(b.mInUse, float64(len(b.slots)))
+	obs.SetGauge(b.mQueueDepth, float64(b.queued.Load()))
 }

@@ -119,15 +119,25 @@ func (i *GroupDistributionInspection) MaxShift(p *Pipeline, out *Node) (float64,
 }
 
 func totalVariation(a, b map[string]float64) float64 {
-	keys := make(map[string]bool)
+	seen := make(map[string]bool, len(a)+len(b))
+	keys := make([]string, 0, len(a)+len(b))
 	for k := range a {
-		keys[k] = true
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
 	}
 	for k := range b {
-		keys[k] = true
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
 	}
+	// Sum in sorted key order: float rounding is order-sensitive, and map
+	// iteration order would make the distance vary run to run.
+	sort.Strings(keys)
 	sum := 0.0
-	for k := range keys {
+	for _, k := range keys {
 		sum += math.Abs(a[k] - b[k])
 	}
 	return sum / 2

@@ -26,6 +26,11 @@ import (
 // retrains never share state.
 func newModel() ml.Classifier { return ml.NewKNN(5) }
 
+// errTrailingData rejects request bodies with bytes after the JSON
+// value. A package-level sentinel (not an ad-hoc fmt.Errorf, per the
+// nde-lint errwrap contract) so decode stays classifiable.
+var errTrailingData = errors.New("trailing data after JSON body")
+
 // writeJSON writes v as the JSON response body.
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -73,7 +78,7 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
 	if err == nil {
 		var trailing any
 		if dec.Decode(&trailing) != io.EOF {
-			err = fmt.Errorf("trailing data after JSON body")
+			err = errTrailingData
 		}
 	}
 	if err != nil {

@@ -169,7 +169,9 @@ func featurizeWith(ct *encode.ColumnTransformer, f *Frame, fit bool) (*Dataset, 
 	y := make([]int, labels.Len())
 	for i := range y {
 		if labels.IsNull(i) {
-			return nil, fmt.Errorf("nde: null sentiment at row %d", i)
+			// Wrap the family root so nde.ErrorClass classifies a null
+			// label as degenerate input instead of an opaque "error".
+			return nil, fmt.Errorf("nde: null sentiment at row %d: %w", i, nderr.ErrDegenerateInput)
 		}
 		if labels.Str(i) == "positive" {
 			y[i] = 1
