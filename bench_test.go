@@ -497,3 +497,79 @@ func BenchmarkKNNPredictBatch(b *testing.B) {
 		}
 	})
 }
+
+// The incremental-maintenance gate (scripts/bench.sh records this series in
+// BENCH_incremental.json): deleting one row from an n-row training set and
+// recomputing kNN-Shapley via the delta path (derive the index with
+// RemoveRows, re-run the closed form over the merged neighbor walk) vs. the
+// full recompute (fresh distance kernel + argsort, cache cold). The delta
+// path must be >= 10x faster at n = 20000; both paths are bit-identical,
+// which internal/importance/delta_test.go asserts.
+func BenchmarkIncremental(b *testing.B) {
+	const (
+		dim     = 32 // matches the BENCH_neighbor series
+		centers = 32
+		queries = 64
+		k       = 5
+	)
+	r := rand.New(rand.NewSource(29))
+	ctr := linalg.NewMatrix(centers, dim)
+	for i := range ctr.Data {
+		ctr.Data[i] = r.NormFloat64() * 8
+	}
+	mk := func(rows int) *ml.Dataset {
+		x := linalg.NewMatrix(rows, dim)
+		y := make([]int, rows)
+		for i := 0; i < rows; i++ {
+			c := r.Intn(centers)
+			row := x.Row(i)
+			for j := range row {
+				row[j] = ctr.At(c, j) + r.NormFloat64()
+			}
+			y[i] = c % 2
+		}
+		d, err := ml.NewDataset(x, y)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return d
+	}
+	for _, n := range []int{2000, 20000} {
+		train, valid := mk(n), mk(queries)
+		b.Run(fmt.Sprintf("delta/n=%d", n), func(b *testing.B) {
+			importance.ResetNeighborIndexCache()
+			// warm the shared base index once; each iteration then pays only
+			// the derivation + recurrence, the steady-state interactive cost
+			if _, _, _, err := importance.KNNShapleyDelta(k, train, valid, nil, 0); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, _, err := importance.KNNShapleyDelta(k, train, valid, []int{i % n}, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("rebuild/n=%d", n), func(b *testing.B) {
+			keep := make([]int, 0, n-1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				importance.ResetNeighborIndexCache() // force the full kernel
+				keep = keep[:0]
+				for row := 0; row < n; row++ {
+					if row != i%n {
+						keep = append(keep, row)
+					}
+				}
+				reduced := train.Subset(keep)
+				b.StartTimer()
+				if _, err := importance.KNNShapleyParallel(k, reduced, valid, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -34,6 +34,10 @@ type (
 	RemovalVariant = pipeline.RemovalVariant
 	// WhatIfResult is the metric of one what-if variant.
 	WhatIfResult = pipeline.WhatIfResult
+	// WhatIfOptions tunes what-if evaluation: worker count and whether to
+	// force the full-rebuild determinism oracle instead of the neighbor
+	// delta fast path (results are bit-for-bit identical either way).
+	WhatIfOptions = pipeline.WhatIfConfig
 	// TupleID identifies one row of one pipeline source table.
 	TupleID = prov.TupleID
 )
@@ -52,15 +56,25 @@ func WhatIf(ft *Featurized, variants []RemovalVariant, valid *Dataset) ([]WhatIf
 // WhatIfParallel is WhatIf with an explicit worker count (<= 0 = automatic,
 // 1 = serial). Every worker count yields identical results; the knob only
 // trades latency for CPU.
-func WhatIfParallel(ft *Featurized, variants []RemovalVariant, valid *Dataset, workers int) (_ []WhatIfResult, err error) {
-	defer recordOp("WhatIfParallel", time.Now(), len(variants), workers, &err)
+func WhatIfParallel(ft *Featurized, variants []RemovalVariant, valid *Dataset, workers int) ([]WhatIfResult, error) {
+	return WhatIfWithOptions(ft, variants, valid, WhatIfOptions{Workers: workers})
+}
+
+// WhatIfWithOptions is WhatIf with full control. Since the default model
+// is a kNN, variants are normally answered by deriving a delta index from
+// one shared base over the featurized data — each variant costs an
+// O(queries·k) repair instead of a fresh distance matrix — while
+// ForceRebuild pins the per-variant full rebuild, the determinism oracle
+// the delta path is tested bit-for-bit against.
+func WhatIfWithOptions(ft *Featurized, variants []RemovalVariant, valid *Dataset, opts WhatIfOptions) (_ []WhatIfResult, err error) {
+	defer recordOp("WhatIfParallel", time.Now(), len(variants), opts.Workers, &err)
 	if ft == nil || ft.Data == nil {
 		return nil, nderr.Empty("nde: featurized pipeline output is nil")
 	}
 	if err := checkPair("pipeline output", ft.Data, "valid", valid); err != nil {
 		return nil, err
 	}
-	return pipeline.WhatIfRemovalsParallel(ft, variants, func() ml.Classifier { return DefaultModel() }, valid, workers)
+	return pipeline.WhatIfRemovalsConfig(ft, variants, func() ml.Classifier { return DefaultModel() }, valid, opts)
 }
 
 // ResetNeighborIndexCache drops every cached kNN neighbor index. The cache

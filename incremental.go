@@ -1,0 +1,128 @@
+package nde
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"nde/internal/importance"
+	"nde/internal/ml"
+	"nde/internal/nderr"
+)
+
+// DebugSession is the interactive flag → unlearn → recompute loop as one
+// stateful object: it holds the current surviving training set, its
+// kNN-Shapley scores against a fixed validation set, and the neighbor
+// index those scores came from. Each RemoveRows call DERIVES the next
+// index from the current one (ml.NeighborIndex.RemoveRows: tombstones over
+// the cached distance geometry, O(queries·k) top-k repair, no fresh
+// distance kernel) and re-evaluates the Shapley closed form over the O(n)
+// merged neighbor walk — so iterating "drop the worst row, look again" is
+// interactive even at tens of thousands of rows, while staying
+// Float64bits-identical to recomputing everything from scratch.
+//
+// Safe for concurrent use; mutations serialize on an internal mutex.
+type DebugSession struct {
+	mu      sync.Mutex
+	k       int
+	workers int
+	train   *Dataset // current surviving rows, fresh labels
+	valid   *Dataset
+	orig    []int // current row -> row id in the original training set
+	scores  Scores
+	ix      *ml.NeighborIndex
+}
+
+// NewDebugSession scores the full training set and opens the session.
+// k is the kNN-Shapley neighborhood size; workers bounds the pool
+// (<= 0 = automatic).
+func NewDebugSession(train, valid *Dataset, k, workers int) (_ *DebugSession, err error) {
+	defer recordOp("NewDebugSession", time.Now(), datasetRows(train), workers, &err)
+	if err := checkTrainable("train", train); err != nil {
+		return nil, err
+	}
+	if err := checkPair("train", train, "valid", valid); err != nil {
+		return nil, err
+	}
+	if err := checkK("DebugSession", k, train.Len()); err != nil {
+		return nil, err
+	}
+	scores, keep, ix, err := importance.KNNShapleyDelta(k, train, valid, nil, workers)
+	if err != nil {
+		return nil, err
+	}
+	return &DebugSession{
+		k: k, workers: workers,
+		train: train, valid: valid,
+		orig: keep, scores: scores, ix: ix,
+	}, nil
+}
+
+// Len returns the number of surviving training rows.
+func (s *DebugSession) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.train.Len()
+}
+
+// Scores returns a copy of the current kNN-Shapley scores, one per
+// surviving row (aligned with OriginalIDs).
+func (s *DebugSession) Scores() Scores {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append(Scores(nil), s.scores...)
+}
+
+// OriginalIDs maps each surviving row to its id in the training set the
+// session was opened with.
+func (s *DebugSession) OriginalIDs() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]int(nil), s.orig...)
+}
+
+// RemoveRows drops the given rows — indices into the CURRENT surviving
+// set, duplicates tolerated — and returns the freshly recomputed scores
+// of the survivors. The update is the delta path end to end: the next
+// index derives from the current one and is registered in the shared
+// cache, so the chain never rebuilds distance geometry. The call is
+// atomic: on error the session is unchanged.
+func (s *DebugSession) RemoveRows(rows []int) (_ Scores, err error) {
+	defer recordOp("DebugSessionRemoveRows", time.Now(), len(rows), s.workers, &err)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(rows) == 0 {
+		return append(Scores(nil), s.scores...), nil
+	}
+	scores, keep, ix, err := importance.KNNShapleyDelta(s.k, s.train, s.valid, rows, s.workers)
+	if err != nil {
+		return nil, fmt.Errorf("nde: debug session removal: %w", err)
+	}
+	if s.k > len(keep) {
+		// keep the session invariant k <= train.Len() for the NEXT round
+		return nil, fmt.Errorf("nde: removal leaves %d rows for k=%d: %w", len(keep), s.k, nderr.ErrBadK)
+	}
+	orig := make([]int, len(keep))
+	for o, i := range keep {
+		orig[o] = s.orig[i]
+	}
+	s.train = s.train.Subset(keep)
+	s.orig = orig
+	s.scores = scores
+	s.ix = ix
+	return append(Scores(nil), scores...), nil
+}
+
+// Accuracy evaluates the default kNN vote of the surviving training set on
+// the session's validation set, via the incrementally maintained index —
+// bit-identical to rebuilding an index over the survivors.
+func (s *DebugSession) Accuracy() (_ float64, err error) {
+	defer recordOp("DebugSessionAccuracy", time.Now(), 0, s.workers, &err)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	preds, err := s.ix.PredictBatchLabels(s.k, s.train.Y)
+	if err != nil {
+		return 0, fmt.Errorf("nde: debug session accuracy: %w", err)
+	}
+	return ml.Accuracy(s.valid.Y, preds), nil
+}

@@ -1,9 +1,12 @@
 package importance
 
 import (
+	"fmt"
 	"sync"
 
 	"nde/internal/ml"
+	"nde/internal/nderr"
+	"nde/internal/obs"
 	"nde/internal/store"
 )
 
@@ -73,13 +76,23 @@ func NeighborSearch() ml.SearchConfig {
 	return indexSearch
 }
 
-// SetIndexCacheCapacity resizes the neighbor-index LRU (minimum 1) and
-// returns the previous capacity. Shrinking evicts the least recently used
-// ready entries immediately; each eviction is counted in
+// SetIndexCacheCapacity resizes the neighbor-index LRU and returns the
+// previous capacity. Shrinking evicts the least recently used ready
+// entries immediately; each eviction is counted in
 // importance_neighbor_index_evictions_total like any other. In-flight
 // builds are never evicted by a shrink — the store trims back to the new
 // bound as they complete.
-func SetIndexCacheCapacity(n int) int { return indexStore.SetCapacity(n) }
+//
+// n must be >= 1: a zero or negative capacity would silently clamp and
+// leave the caller believing the cache was disabled, so it is rejected
+// with a wrapped nderr.ErrDegenerateInput and the capacity is unchanged
+// (the current value is returned alongside the error).
+func SetIndexCacheCapacity(n int) (int, error) {
+	if n < 1 {
+		return indexStore.Capacity(), fmt.Errorf("importance: index cache capacity %d, need >= 1: %w", n, nderr.ErrDegenerateInput)
+	}
+	return indexStore.SetCapacity(n), nil
+}
 
 // IndexCacheCapacity returns the current LRU capacity.
 func IndexCacheCapacity() int { return indexStore.Capacity() }
@@ -98,6 +111,22 @@ func sharedNeighborIndex(train, valid *ml.Dataset, workers int) (*ml.NeighborInd
 	return indexStore.GetOrBuild(key, func() (*ml.NeighborIndex, error) {
 		return ml.NewNeighborIndexSearch(train, valid, workers, search)
 	})
+}
+
+// registerDerivedIndex publishes a delta-derived index under its own
+// geometry key, so the next sharedNeighborIndex call for the mutated
+// train set hits the cache instead of rebuilding from scratch — the cache
+// derives child entries from parents. First build wins on collision
+// (store.Put semantics); the counter tracks successful registrations.
+func registerDerivedIndex(ix *ml.NeighborIndex, validFP uint64) {
+	key := indexKey{
+		trainFP:  ix.Train.X.Fingerprint(),
+		validFP:  validFP,
+		searchFP: NeighborSearch().Fingerprint(),
+	}
+	if indexStore.Put(key, ix) && obs.Enabled() {
+		obs.Inc("importance_neighbor_index_derived_total")
+	}
 }
 
 // ResetNeighborIndexCache drops every cached index. Intended for tests and

@@ -1,10 +1,12 @@
 package importance
 
 import (
+	"errors"
 	"sync"
 	"testing"
 
 	"nde/internal/ml"
+	"nde/internal/nderr"
 	"nde/internal/obs"
 )
 
@@ -256,7 +258,10 @@ func TestSharedNeighborIndexInFlightSurvivesChurn(t *testing.T) {
 	obs.Reset()
 	ResetNeighborIndexCache()
 	defer ResetNeighborIndexCache()
-	prev := SetIndexCacheCapacity(1)
+	prev, err := SetIndexCacheCapacity(1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer SetIndexCacheCapacity(prev)
 
 	// A is deliberately large so its index build is still in flight while
@@ -290,7 +295,9 @@ func TestSharedNeighborIndexInFlightSurvivesChurn(t *testing.T) {
 	if _, err := sharedNeighborIndex(trainB, validB, 1); err != nil {
 		t.Fatal(err)
 	}
-	SetIndexCacheCapacity(1)
+	if _, err := SetIndexCacheCapacity(1); err != nil {
+		t.Fatal(err)
+	}
 	// stragglers arrive strictly after the churn: they must join A's
 	// flight or hit its cached entry, never rebuild
 	stragglers := make([]*ml.NeighborIndex, 2)
@@ -327,7 +334,10 @@ func TestIndexCacheCapacityConfigurable(t *testing.T) {
 	obs.Reset()
 	ResetNeighborIndexCache()
 	defer ResetNeighborIndexCache()
-	prev := SetIndexCacheCapacity(2)
+	prev, err := SetIndexCacheCapacity(2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer SetIndexCacheCapacity(prev)
 	if got := IndexCacheCapacity(); got != 2 {
 		t.Fatalf("capacity = %d, want 2", got)
@@ -350,18 +360,26 @@ func TestIndexCacheCapacityConfigurable(t *testing.T) {
 	}
 
 	// shrinking below the current population evicts immediately
-	SetIndexCacheCapacity(1)
+	if _, err := SetIndexCacheCapacity(1); err != nil {
+		t.Fatal(err)
+	}
 	if nc := indexStore.Len(); nc != 1 {
 		t.Errorf("after shrink: %d entries, want 1", nc)
 	}
 	if got := obs.Default().Counter("importance_neighbor_index_evictions_total").Value(); got != evictions+1 {
 		t.Errorf("shrink evictions = %d, want %d", got, evictions+1)
 	}
-	if got := SetIndexCacheCapacity(0); got != 1 {
-		t.Errorf("previous capacity = %d, want 1", got)
+	for _, bad := range []int{0, -3} {
+		got, err := SetIndexCacheCapacity(bad)
+		if !errors.Is(err, nderr.ErrDegenerateInput) {
+			t.Errorf("SetIndexCacheCapacity(%d) err = %v, want ErrDegenerateInput", bad, err)
+		}
+		if got != 1 {
+			t.Errorf("SetIndexCacheCapacity(%d) reports capacity %d, want unchanged 1", bad, got)
+		}
 	}
 	if got := IndexCacheCapacity(); got != 1 {
-		t.Errorf("capacity clamps to %d, want 1", got)
+		t.Errorf("capacity = %d, want unchanged 1", got)
 	}
 }
 

@@ -156,24 +156,15 @@ func pairwiseD2Block32(a, b *Matrix32, na, nb []float32, out *Matrix32, lo, hi i
 	}
 }
 
-// Fingerprint returns a cheap FNV-1a hash over the matrix shape and the
-// raw bits of its elements, the float32 analogue of Matrix.Fingerprint.
+// Fingerprint returns a cheap content hash over the matrix shape and the
+// raw bits of its elements, the float32 analogue of Matrix.Fingerprint
+// (same word-at-a-time mix, same process-local-only contract).
 func (m *Matrix32) Fingerprint() uint64 {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	mix := func(v uint64) {
-		for s := 0; s < 64; s += 8 {
-			h ^= (v >> s) & 0xff
-			h *= prime64
-		}
-	}
-	mix(uint64(m.Rows))
-	mix(uint64(m.Cols))
+	h := fpSeed
+	h = fpMix(h, uint64(m.Rows))
+	h = fpMix(h, uint64(m.Cols))
 	for _, v := range m.Data {
-		mix(uint64(math.Float32bits(v)))
+		h = fpMix(h, uint64(math.Float32bits(v)))
 	}
 	return h
 }

@@ -1,0 +1,43 @@
+package linalg
+
+import "fmt"
+
+// SelectColumns returns a new matrix holding the given columns of m, in
+// order. Column indices may repeat; each must be in [0, m.Cols). The copy
+// is element-exact (no arithmetic), so derived matrices are bit-identical
+// to recomputing the same columns from scratch — the property the
+// neighbor-index delta maintenance relies on when it narrows a cached
+// distance matrix to the surviving training rows.
+func (m *Matrix) SelectColumns(cols []int) *Matrix {
+	for _, c := range cols {
+		if c < 0 || c >= m.Cols {
+			panic(fmt.Sprintf("linalg: SelectColumns index %d outside [0,%d)", c, m.Cols))
+		}
+	}
+	out := NewMatrix(m.Rows, len(cols))
+	for r := 0; r < m.Rows; r++ {
+		src := m.Row(r)
+		dst := out.Row(r)
+		for o, c := range cols {
+			dst[o] = src[c]
+		}
+	}
+	return out
+}
+
+// HConcat returns [a | b]: a new matrix whose rows are a's rows followed by
+// b's rows element-wise. Both inputs must have the same row count. Used to
+// extend a cached query×extra distance block when more rows are appended to
+// a derived neighbor index.
+func HConcat(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("linalg: HConcat rows %d vs %d", a.Rows, b.Rows))
+	}
+	out := NewMatrix(a.Rows, a.Cols+b.Cols)
+	for r := 0; r < a.Rows; r++ {
+		dst := out.Row(r)
+		copy(dst[:a.Cols], a.Row(r))
+		copy(dst[a.Cols:], b.Row(r))
+	}
+	return out
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"nde/internal/ann"
 	"nde/internal/linalg"
@@ -52,10 +53,29 @@ type NeighborIndex struct {
 	d2Once sync.Once
 	d2     *linalg.Matrix // Queries.Len() × Train.Len()
 
-	ordersOnce sync.Once
-	orders     []int // flat q×n argsort rows; Order(qi) returns a view
+	ordersOnce  sync.Once
+	orders      []int // flat q×n argsort rows; Order(qi) returns a view
+	ordersReady atomic.Bool
+
+	topk topkCache // per-query top-k lists shared by prediction + derivation
+
+	// delta, when non-nil, marks a derived index: answers come from the
+	// root's cached geometry instead of fresh kernels (neighbor_delta.go).
+	// Derived indexes always serve the exact path.
+	delta *deltaGeom
 
 	search searchState // lazily resolved ANN backend (search.go)
+}
+
+// topkCache holds the per-query top-k lists for one k: flat q×k training
+// ids (each row ascending by (distance, id)) plus the k-th distance per
+// query. Guarded by mu so concurrent callers with different k serialize;
+// derivation snapshots it to repair children in O(q·k).
+type topkCache struct {
+	mu  sync.Mutex
+	k   int
+	ids []int
+	kth []float64
 }
 
 // NewNeighborIndex builds an index over the given train and query sets.
@@ -93,31 +113,55 @@ func NewNeighborIndexSearch(train, queries *Dataset, workers int, search SearchC
 }
 
 // D2 returns the query×train squared-distance matrix, computing it on
-// first use via linalg.PairwiseSquaredDistances.
+// first use via linalg.PairwiseSquaredDistances. For a derived index the
+// matrix is gathered from the root's cached geometry instead — element
+// copies only, bit-identical to rerunning the kernel.
 func (ix *NeighborIndex) D2() *linalg.Matrix {
 	ix.d2Once.Do(func() {
-		ix.d2 = linalg.PairwiseSquaredDistances(ix.Queries.X, ix.Train.X, ix.Workers)
+		if g := ix.delta; g != nil {
+			ix.d2 = g.materializeD2(ix.Queries.Len(), ix.Workers)
+		} else {
+			ix.d2 = linalg.PairwiseSquaredDistances(ix.Queries.X, ix.Train.X, ix.Workers)
+		}
 	})
 	return ix.d2
+}
+
+// ensureOrders materializes the full per-query argsort table once. A root
+// sorts its distance rows; a derived index merges the root's cached order
+// with the extra-slot order in O(n) per query — no sorting — which is
+// where the kNN-Shapley delta path gets its speedup.
+func (ix *NeighborIndex) ensureOrders() {
+	ix.ordersOnce.Do(func() {
+		n := ix.Train.Len()
+		nq := ix.Queries.Len()
+		orders := make([]int, nq*n)
+		if g := ix.delta; g != nil {
+			g.base.ensureOrders()
+			par.For("ml.neighbor_delta_walk", ix.Workers, nq, func(_, q int) {
+				g.walkInto(q, orders[q*n:(q+1)*n])
+			})
+		} else {
+			d2 := ix.D2()
+			par.For("ml.neighbor_argsort", ix.Workers, nq, func(_, q int) {
+				row := orders[q*n : (q+1)*n]
+				for i := range row {
+					row[i] = i
+				}
+				sort.Sort(&distOrder{d2: d2.Row(q), idx: row})
+			})
+		}
+		ix.orders = orders
+		ix.ordersReady.Store(true)
+	})
 }
 
 // Order returns the training indices sorted by ascending squared distance
 // to query qi (ties by index). The slice is a view into the index's cached
 // order table and MUST NOT be mutated by the caller.
 func (ix *NeighborIndex) Order(qi int) []int {
+	ix.ensureOrders()
 	n := ix.Train.Len()
-	ix.ordersOnce.Do(func() {
-		d2 := ix.D2()
-		orders := make([]int, ix.Queries.Len()*n)
-		par.For("ml.neighbor_argsort", ix.Workers, ix.Queries.Len(), func(_, q int) {
-			row := orders[q*n : (q+1)*n]
-			for i := range row {
-				row[i] = i
-			}
-			sort.Sort(&distOrder{d2: d2.Row(q), idx: row})
-		})
-		ix.orders = orders
-	})
 	return ix.orders[qi*n : (qi+1)*n]
 }
 
@@ -139,6 +183,14 @@ func (ix *NeighborIndex) TopK(qi, k int) []int {
 	if k <= 0 {
 		return nil
 	}
+	if g := ix.delta; g != nil {
+		// Derived: select against the cached geometry without materializing
+		// the full distance matrix for this child.
+		pairs := make([]distIdx, n)
+		out := make([]int, k)
+		g.reselectInto(qi, k, pairs, out)
+		return out
+	}
 	ix.ensureSearch()
 	if ix.search.eff != SearchExact {
 		scratch := ix.annScratch()
@@ -152,6 +204,21 @@ func (ix *NeighborIndex) TopK(qi, k int) []int {
 	pairs := make([]distIdx, n)
 	out := make([]int, k)
 	return ix.exactTopKInto(row, k, pairs, out)
+}
+
+// TopKChecked is TopK with strict validation instead of clamping: qi must
+// be a valid query index and k must satisfy 1 <= k <= Train.Len(). The
+// clamping rules of TopK itself (k > n clamps to n, k <= 0 returns nil)
+// and the error rules here are identical across the exact, IVF, and auto
+// search modes — the backend never changes argument semantics.
+func (ix *NeighborIndex) TopKChecked(qi, k int) ([]int, error) {
+	if nq := ix.Queries.Len(); qi < 0 || qi >= nq {
+		return nil, fmt.Errorf("ml: TopK query %d outside [0,%d): %w", qi, nq, nderr.ErrDegenerateInput)
+	}
+	if n := ix.Train.Len(); k < 1 || k > n {
+		return nil, nderr.BadK("ml: TopK", k, n)
+	}
+	return ix.TopK(qi, k), nil
 }
 
 // exactTopKInto is the exact top-k path writing into caller-provided
@@ -210,53 +277,115 @@ type predictScratch struct {
 	ann   *ann.Scratch
 }
 
-// PredictBatch classifies every query with the k-nearest-neighbor vote,
-// fanning queries out over the shared pool with per-worker scratch
-// buffers — the batch path allocates O(workers), not O(queries). The
-// result is identical to calling PredictRow per query.
+// PredictBatch classifies every query with the k-nearest-neighbor vote.
+// The result is identical to calling PredictRow per query.
 func (ix *NeighborIndex) PredictBatch(k int) []int {
+	out, _ := ix.PredictBatchLabels(k, ix.Train.Y) // error impossible: lengths match
+	return out
+}
+
+// PredictBatchLabels is PredictBatch voting with caller-provided training
+// labels instead of the index's own. Required when the caller holds
+// fresher labels than the index's Train snapshot — cached/derived indexes
+// are keyed by feature-matrix fingerprints only, so their geometry may
+// legitimately be shared across label revisions. trainY needs one
+// non-negative label per training row.
+//
+// On the exact path the per-query top-k lists are built once into the
+// index's top-k cache (parallel, per-worker scratch) and the vote tally is
+// a cheap O(queries·k) pass, so repeated predictions and delta-derived
+// children reuse the selection work.
+func (ix *NeighborIndex) PredictBatchLabels(k int, trainY []int) ([]int, error) {
+	n := ix.Train.Len()
+	if len(trainY) != n {
+		return nil, nderr.Mismatch("ml: PredictBatchLabels labels", n, len(trainY))
+	}
+	nc := 0
+	for i, y := range trainY {
+		if y < 0 {
+			return nil, fmt.Errorf("ml: negative label %d at training row %d: %w", y, i, nderr.ErrDegenerateInput)
+		}
+		if y >= nc {
+			nc = y + 1
+		}
+	}
 	nq := ix.Queries.Len()
 	out := make([]int, nq)
-	nc := ix.Train.NumClasses()
-	n := ix.Train.Len()
 	kk := k
 	if kk > n {
 		kk = n
 	}
 	if kk <= 0 {
-		return out
+		return out, nil
 	}
 	ix.ensureSearch()
-	exact := ix.search.eff == SearchExact
-	if exact {
-		ix.D2() // materialize once before fanning out
-	} else {
+	if ix.search.eff != SearchExact {
 		ix.queries32()
-	}
-	scratch := make([]predictScratch, par.Workers(ix.Workers, nq))
-	par.For("ml.knn_predict_batch", ix.Workers, nq, func(w, q int) {
-		s := &scratch[w]
-		if s.votes == nil {
-			s.votes = make([]int, nc)
-		}
-		if !exact {
+		scratch := make([]predictScratch, par.Workers(ix.Workers, nq))
+		par.For("ml.knn_predict_batch", ix.Workers, nq, func(w, q int) {
+			s := &scratch[w]
+			if s.votes == nil {
+				s.votes = make([]int, nc)
+			}
 			if s.ann == nil {
 				s.ann = &ann.Scratch{}
 			}
 			if top, ok := ix.annTopK(q, kk, s.ann); ok {
-				out[q] = tallyVotes(s.votes, ix.Train.Y, top)
+				out[q] = tallyVotes(s.votes, trainY, top)
 				return
 			}
 			// partial answer: exact fallback for this query
+			if s.pairs == nil {
+				s.pairs = make([]distIdx, n)
+				s.top = make([]int, kk)
+			}
+			top := ix.exactTopKInto(ix.D2().Row(q), kk, s.pairs, s.top[:kk])
+			out[q] = tallyVotes(s.votes, trainY, top)
+		})
+		return out, nil
+	}
+	ids, _ := ix.ensureTopK(kk)
+	votes := make([]int, nc)
+	for q := 0; q < nq; q++ {
+		out[q] = tallyVotes(votes, trainY, ids[q*kk:(q+1)*kk])
+	}
+	return out, nil
+}
+
+// ensureTopK returns the cached flat q×kk top-k id table and per-query
+// k-th distances, building both if absent or cached for a different k.
+// The returned slices are owned by the cache and must not be mutated.
+// Requires 1 <= kk <= Train.Len().
+func (ix *NeighborIndex) ensureTopK(kk int) ([]int, []float64) {
+	ix.topk.mu.Lock()
+	defer ix.topk.mu.Unlock()
+	if ix.topk.k == kk && ix.topk.ids != nil {
+		return ix.topk.ids, ix.topk.kth
+	}
+	n := ix.Train.Len()
+	nq := ix.Queries.Len()
+	ids := make([]int, nq*kk)
+	kth := make([]float64, nq)
+	g := ix.delta
+	var d2 *linalg.Matrix
+	if g == nil {
+		d2 = ix.D2()
+	}
+	scratch := make([][]distIdx, par.Workers(ix.Workers, nq))
+	par.For("ml.neighbor_topk_build", ix.Workers, nq, func(w, q int) {
+		if scratch[w] == nil {
+			scratch[w] = make([]distIdx, n)
 		}
-		if s.pairs == nil {
-			s.pairs = make([]distIdx, n)
-			s.top = make([]int, kk)
+		row := ids[q*kk : (q+1)*kk]
+		if g != nil {
+			kth[q] = g.reselectInto(q, kk, scratch[w], row)
+			return
 		}
-		top := ix.exactTopKInto(ix.D2().Row(q), kk, s.pairs, s.top[:kk])
-		out[q] = tallyVotes(s.votes, ix.Train.Y, top)
+		ix.exactTopKInto(d2.Row(q), kk, scratch[w], row)
+		kth[q] = d2.Row(q)[row[kk-1]]
 	})
-	return out
+	ix.topk.k, ix.topk.ids, ix.topk.kth = kk, ids, kth
+	return ids, kth
 }
 
 // distOrder argsorts idx by (d2[idx], idx) — the deterministic neighbor

@@ -1,0 +1,332 @@
+package ml
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"nde/internal/linalg"
+	"nde/internal/nderr"
+)
+
+// rebuildIndex is the determinism oracle: a fresh index over the derived
+// index's own training data, computed from scratch.
+func rebuildIndex(t *testing.T, derived *NeighborIndex, workers int) *NeighborIndex {
+	t.Helper()
+	fresh, err := NewNeighborIndex(derived.Train, derived.Queries, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fresh
+}
+
+// assertIndexBitIdentical checks every observable of the derived index —
+// D2, Order, TopK, PredictBatch — against the rebuild oracle, bit for bit.
+func assertIndexBitIdentical(t *testing.T, derived, fresh *NeighborIndex, k int) {
+	t.Helper()
+	dd, fd := derived.D2(), fresh.D2()
+	if dd.Rows != fd.Rows || dd.Cols != fd.Cols {
+		t.Fatalf("D2 shape %dx%d vs rebuild %dx%d", dd.Rows, dd.Cols, fd.Rows, fd.Cols)
+	}
+	for i, v := range dd.Data {
+		if math.Float64bits(v) != math.Float64bits(fd.Data[i]) {
+			t.Fatalf("D2[%d] = %x, rebuild %x", i, math.Float64bits(v), math.Float64bits(fd.Data[i]))
+		}
+	}
+	nq := derived.Queries.Len()
+	for q := 0; q < nq; q++ {
+		do, fo := derived.Order(q), fresh.Order(q)
+		for j := range fo {
+			if do[j] != fo[j] {
+				t.Fatalf("Order(%d)[%d] = %d, rebuild %d", q, j, do[j], fo[j])
+			}
+		}
+		dt, ft := derived.TopK(q, k), fresh.TopK(q, k)
+		for j := range ft {
+			if dt[j] != ft[j] {
+				t.Fatalf("TopK(%d,%d)[%d] = %d, rebuild %d", q, k, j, dt[j], ft[j])
+			}
+		}
+	}
+	dp, fp := derived.PredictBatch(k), fresh.PredictBatch(k)
+	for q := range fp {
+		if dp[q] != fp[q] {
+			t.Fatalf("PredictBatch[%d] = %d, rebuild %d", q, dp[q], fp[q])
+		}
+	}
+}
+
+func TestRemoveRowsBitIdenticalToRebuild(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	train := randomNeighborDataset(r, 60, 5, 3)
+	queries := randomNeighborDataset(r, 17, 5, 3)
+	ix, err := NewNeighborIndex(train, queries, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix.PredictBatch(3) // warm the top-k cache so derivation inherits from it
+
+	for _, rm := range [][]int{
+		{0},
+		{59},
+		{5, 5, 12, 3, 5}, // duplicates tolerated
+		{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17}, // triggers compaction
+	} {
+		child, err := ix.RemoveRows(rm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertIndexBitIdentical(t, child, rebuildIndex(t, child, 1), 3)
+	}
+}
+
+func TestAppendRowsBitIdenticalToRebuild(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	train := randomNeighborDataset(r, 40, 4, 3)
+	queries := randomNeighborDataset(r, 11, 4, 3)
+	ix, err := NewNeighborIndex(train, queries, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix.PredictBatch(4)
+
+	block := randomNeighborDataset(r, 7, 4, 3)
+	child, err := ix.AppendRows(block.X, block.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if child.Train.Len() != 47 {
+		t.Fatalf("appended train size = %d, want 47", child.Train.Len())
+	}
+	assertIndexBitIdentical(t, child, rebuildIndex(t, child, 1), 4)
+
+	// a second append chains on the first (extraD2 HConcat + order merge)
+	block2 := randomNeighborDataset(r, 5, 4, 3)
+	grand, err := child.AppendRows(block2.X, block2.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIndexBitIdentical(t, grand, rebuildIndex(t, grand, 1), 4)
+}
+
+// Property: arbitrary remove/append chains stay bit-identical to the
+// rebuild oracle at every step, across worker counts, through compactions.
+func TestDeltaChainPropertyBitIdentical(t *testing.T) {
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		r := rand.New(rand.NewSource(100 + int64(workers)))
+		for trial := 0; trial < 3; trial++ {
+			dim := 3 + r.Intn(3)
+			train := randomNeighborDataset(r, 50+r.Intn(30), dim, 3)
+			queries := randomNeighborDataset(r, 8+r.Intn(8), dim, 3)
+			cur, err := NewNeighborIndex(train, queries, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if trial%2 == 0 {
+				cur.Order(0) // exercise the walk-collected compaction arm too
+			}
+			cur.PredictBatch(3)
+			sawCompact := false
+			for step := 0; step < 8; step++ {
+				n := cur.Train.Len()
+				if r.Intn(3) > 0 && n > 10 {
+					rm := make([]int, 1+r.Intn(n/4))
+					for i := range rm {
+						rm[i] = r.Intn(n)
+					}
+					next, err := cur.RemoveRows(rm)
+					if err != nil {
+						t.Fatal(err)
+					}
+					cur = next
+				} else {
+					block := randomNeighborDataset(r, 1+r.Intn(6), dim, 3)
+					next, err := cur.AppendRows(block.X, block.Y)
+					if err != nil {
+						t.Fatal(err)
+					}
+					cur = next
+				}
+				if !cur.Derived() {
+					sawCompact = true
+				}
+				assertIndexBitIdentical(t, cur, rebuildIndex(t, cur, workers), 3)
+			}
+			if !sawCompact && testing.Verbose() {
+				t.Logf("workers=%d trial=%d: chain never compacted", workers, trial)
+			}
+		}
+	}
+}
+
+func TestRemoveRowsEdgeCases(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	train := randomNeighborDataset(r, 12, 3, 2)
+	queries := randomNeighborDataset(r, 4, 3, 2)
+	ix, err := NewNeighborIndex(train, queries, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same, err := ix.RemoveRows(nil); err != nil || same != ix {
+		t.Fatalf("empty removal: got (%p, %v), want the receiver", same, err)
+	}
+	if _, err := ix.RemoveRows([]int{12}); !errors.Is(err, nderr.ErrDegenerateInput) {
+		t.Fatalf("out-of-range removal err = %v, want ErrDegenerateInput", err)
+	}
+	if _, err := ix.RemoveRows([]int{-1}); !errors.Is(err, nderr.ErrDegenerateInput) {
+		t.Fatalf("negative removal err = %v, want ErrDegenerateInput", err)
+	}
+	all := make([]int, 12)
+	for i := range all {
+		all[i] = i
+	}
+	if _, err := ix.RemoveRows(all); !errors.Is(err, nderr.ErrEmptyInput) {
+		t.Fatalf("remove-everything err = %v, want ErrEmptyInput", err)
+	}
+	// duplicates must not double-remove: 12 - 2 distinct = 10
+	child, err := ix.RemoveRows([]int{3, 3, 3, 7, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if child.Train.Len() != 10 {
+		t.Fatalf("after dup removal train = %d rows, want 10", child.Train.Len())
+	}
+}
+
+func TestAppendRowsErrors(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	train := randomNeighborDataset(r, 10, 3, 2)
+	queries := randomNeighborDataset(r, 4, 3, 2)
+	ix, err := NewNeighborIndex(train, queries, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.AppendRows(nil, nil); !errors.Is(err, nderr.ErrEmptyInput) {
+		t.Fatalf("nil block err = %v, want ErrEmptyInput", err)
+	}
+	bad := linalg.NewMatrix(2, 4) // wrong dim
+	if _, err := ix.AppendRows(bad, []int{0, 1}); !errors.Is(err, nderr.ErrShapeMismatch) {
+		t.Fatalf("dim mismatch err = %v, want ErrShapeMismatch", err)
+	}
+	x := linalg.NewMatrix(2, 3)
+	if _, err := ix.AppendRows(x, []int{0}); !errors.Is(err, nderr.ErrShapeMismatch) {
+		t.Fatalf("label-count mismatch err = %v, want ErrShapeMismatch", err)
+	}
+	if _, err := ix.AppendRows(x, []int{0, -2}); !errors.Is(err, nderr.ErrDegenerateInput) {
+		t.Fatalf("negative label err = %v, want ErrDegenerateInput", err)
+	}
+	x.Set(1, 1, math.NaN())
+	if _, err := ix.AppendRows(x, []int{0, 1}); !errors.Is(err, nderr.ErrNonFinite) {
+		t.Fatalf("NaN block err = %v, want ErrNonFinite", err)
+	}
+}
+
+// Satellite: k <= 0 and k > n behave identically across the exact, IVF,
+// and auto search paths — clamping in TopK, ErrBadK in TopKChecked.
+func TestTopKClampAndErrorsAcrossModes(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	train := randomNeighborDataset(r, 64, 4, 2)
+	queries := randomNeighborDataset(r, 6, 4, 2)
+	n := train.Len()
+	for _, mode := range []SearchMode{SearchExact, SearchIVF, SearchAuto} {
+		ix, err := NewNeighborIndexSearch(train, queries, 1, SearchConfig{Mode: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := ix.TopK(0, 0); got != nil {
+			t.Errorf("mode %v: TopK(0,0) = %v, want nil", mode, got)
+		}
+		if got := ix.TopK(0, -4); got != nil {
+			t.Errorf("mode %v: TopK(0,-4) = %v, want nil", mode, got)
+		}
+		if got := ix.TopK(0, n+5); len(got) != n {
+			t.Errorf("mode %v: TopK(0,n+5) returned %d ids, want clamped %d", mode, len(got), n)
+		}
+		for _, k := range []int{0, -1, n + 1} {
+			if _, err := ix.TopKChecked(0, k); !errors.Is(err, nderr.ErrBadK) {
+				t.Errorf("mode %v: TopKChecked(0,%d) err = %v, want ErrBadK", mode, k, err)
+			}
+		}
+		if _, err := ix.TopKChecked(-1, 3); !errors.Is(err, nderr.ErrDegenerateInput) {
+			t.Errorf("mode %v: TopKChecked(-1,3) err = %v, want ErrDegenerateInput", mode, err)
+		}
+		if _, err := ix.TopKChecked(queries.Len(), 3); !errors.Is(err, nderr.ErrDegenerateInput) {
+			t.Errorf("mode %v: TopKChecked(out-of-range) err = %v, want ErrDegenerateInput", mode, err)
+		}
+		got, err := ix.TopKChecked(1, 3)
+		if err != nil || len(got) != 3 {
+			t.Errorf("mode %v: TopKChecked(1,3) = (%v, %v), want 3 ids", mode, got, err)
+		}
+	}
+}
+
+// PredictBatchLabels must vote with the caller's labels, not the index's
+// snapshot — the stale-label cache contract.
+func TestPredictBatchLabelsOverridesSnapshot(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	train := randomNeighborDataset(r, 30, 3, 2)
+	queries := randomNeighborDataset(r, 9, 3, 2)
+	ix, err := NewNeighborIndex(train, queries, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flipped := make([]int, train.Len())
+	for i, y := range train.Y {
+		flipped[i] = 1 - y
+	}
+	base, err := ix.PredictBatchLabels(3, train.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flip, err := ix.PredictBatchLabels(3, flipped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := range base {
+		if flip[q] != 1-base[q] {
+			t.Fatalf("query %d: flipped labels predicted %d, want %d", q, flip[q], 1-base[q])
+		}
+	}
+	if _, err := ix.PredictBatchLabels(3, flipped[:10]); !errors.Is(err, nderr.ErrShapeMismatch) {
+		t.Fatalf("short labels err = %v, want ErrShapeMismatch", err)
+	}
+	if _, err := ix.PredictBatchLabels(3, append([]int{-1}, flipped[1:]...)); !errors.Is(err, nderr.ErrDegenerateInput) {
+		t.Fatalf("negative label err = %v, want ErrDegenerateInput", err)
+	}
+}
+
+// Concurrent derivations from one shared base must not race and must each
+// match their own rebuild (the receiver is never mutated).
+func TestConcurrentDerivationsShareBase(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	train := randomNeighborDataset(r, 80, 4, 3)
+	queries := randomNeighborDataset(r, 12, 4, 3)
+	base, err := NewNeighborIndex(train, queries, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.PredictBatch(3)
+	const callers = 8
+	errs := make(chan error, callers)
+	children := make([]*NeighborIndex, callers)
+	for c := 0; c < callers; c++ {
+		go func(c int) {
+			child, err := base.RemoveRows([]int{c, c + 10, c + 20})
+			children[c] = child
+			errs <- err
+		}(c)
+	}
+	for c := 0; c < callers; c++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	for c, child := range children {
+		if child.Train.Len() != 77 {
+			t.Fatalf("caller %d: train = %d rows, want 77", c, child.Train.Len())
+		}
+		assertIndexBitIdentical(t, child, rebuildIndex(t, child, 1), 3)
+	}
+}

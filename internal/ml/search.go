@@ -160,6 +160,12 @@ func (ix *NeighborIndex) ensureSearch() {
 		st := &ix.search
 		st.eff, st.recall = SearchExact, 1
 		cfg := ix.Search
+		if ix.delta != nil {
+			// Derived indexes always serve exact: their value is reusing the
+			// root's cached exact geometry, and an IVF build over the mutated
+			// train would cost more than the delta saves (DESIGN §11).
+			return
+		}
 		if cfg.Mode == SearchExact {
 			return
 		}

@@ -3,8 +3,10 @@ package ml
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"nde/internal/linalg"
+	"nde/internal/nderr"
 )
 
 // This file implements low-latency machine unlearning — the §2.4 connection
@@ -31,6 +33,38 @@ type UnlearnableKNN struct {
 	alive   []bool
 	nAlive  int
 	dataset *Dataset
+
+	// Eval plumbing (AttachEval): a delta-maintained NeighborIndex over the
+	// alive rows, so accuracy after each unlearn call is an O(queries·k)
+	// repair instead of a rebuild. evalLog maps original row -> logical row
+	// in evalIx.Train (-1 = dead).
+	evalIx  *NeighborIndex
+	evalLog []int
+}
+
+// normalizeUnlearnRows validates and canonicalizes an unlearn request
+// against the alive mask. Every id is range-checked BEFORE any state
+// changes, so a bad id mid-list can never leave a partially mutated model;
+// repeated ids and already-dead rows are dropped, so nAlive is never
+// double-decremented (the same bug class as the Challenge.Submit
+// double-budget charge). Returns the sorted set of rows that will actually
+// flip from alive to dead; an error means nothing changed.
+func normalizeUnlearnRows(alive []bool, rows []int) ([]int, error) {
+	for _, r := range rows {
+		if r < 0 || r >= len(alive) {
+			return nil, fmt.Errorf("ml: unlearn row %d outside [0,%d): %w", r, len(alive), nderr.ErrDegenerateInput)
+		}
+	}
+	uniq := append([]int(nil), rows...)
+	sort.Ints(uniq)
+	uniq = dedupSorted(uniq)
+	dead := uniq[:0]
+	for _, r := range uniq {
+		if alive[r] {
+			dead = append(dead, r)
+		}
+	}
+	return dead, nil
 }
 
 // NewUnlearnableKNN returns an unlearnable kNN with the given k.
@@ -53,24 +87,103 @@ func (m *UnlearnableKNN) Fit(d *Dataset) error {
 }
 
 // Unlearn marks rows as forgotten; subsequent predictions are exactly those
-// of a model retrained without them.
+// of a model retrained without them. The call is atomic: any error (row out
+// of range, removal would empty the training set) leaves the model — and
+// any attached eval index — exactly as it was. Repeated and already-dead
+// ids are tolerated and do not double-decrement the alive count.
 func (m *UnlearnableKNN) Unlearn(rows []int) error {
 	if m.dataset == nil {
 		return fmt.Errorf("ml: Unlearn before Fit")
 	}
-	for _, r := range rows {
-		if r < 0 || r >= len(m.alive) {
-			return fmt.Errorf("ml: unlearn row %d out of range [0,%d)", r, len(m.alive))
-		}
-		if m.alive[r] {
-			m.alive[r] = false
-			m.nAlive--
-		}
+	dead, err := normalizeUnlearnRows(m.alive, rows)
+	if err != nil {
+		return err
 	}
-	if m.nAlive == 0 {
-		return fmt.Errorf("ml: unlearning emptied the training set")
+	if len(dead) == 0 {
+		return nil
+	}
+	if len(dead) == m.nAlive {
+		return fmt.Errorf("ml: unlearning would empty the training set: %w", nderr.ErrEmptyInput)
+	}
+	if m.evalIx != nil {
+		logical := make([]int, len(dead))
+		for i, r := range dead {
+			logical[i] = m.evalLog[r]
+		}
+		child, err := m.evalIx.RemoveRows(logical)
+		if err != nil {
+			return err
+		}
+		m.evalIx = child
+	}
+	for _, r := range dead {
+		m.alive[r] = false
+	}
+	m.nAlive -= len(dead)
+	if m.evalIx != nil {
+		m.renumberEvalLog()
 	}
 	return nil
+}
+
+// renumberEvalLog rebuilds the original-row -> eval-index-logical-row map
+// from the alive mask: alive rows keep their relative order, matching the
+// Subset order RemoveRows produces.
+func (m *UnlearnableKNN) renumberEvalLog() {
+	next := 0
+	for i, a := range m.alive {
+		if a {
+			m.evalLog[i] = next
+			next++
+		} else {
+			m.evalLog[i] = -1
+		}
+	}
+}
+
+// AttachEval attaches a fixed evaluation query set. After each Unlearn the
+// model derives the next index from the current one via RemoveRows, so
+// "flag → unlearn → re-measure accuracy" costs O(queries·k) per step
+// instead of an index rebuild. Returns an error before Fit or when the
+// query set is incompatible with the training features.
+func (m *UnlearnableKNN) AttachEval(queries *Dataset, workers int) error {
+	if m.dataset == nil {
+		return fmt.Errorf("ml: AttachEval before Fit")
+	}
+	idx := make([]int, 0, m.nAlive)
+	for i, a := range m.alive {
+		if a {
+			idx = append(idx, i)
+		}
+	}
+	ix, err := NewNeighborIndex(m.dataset.Subset(idx), queries, workers)
+	if err != nil {
+		return err
+	}
+	m.evalIx = ix
+	m.evalLog = make([]int, len(m.alive))
+	m.renumberEvalLog()
+	return nil
+}
+
+// EvalPredictions classifies the attached evaluation queries against the
+// current alive set via the incrementally maintained index. Bit-identical
+// to rebuilding a NeighborIndex over the surviving rows and calling
+// PredictBatch(K).
+func (m *UnlearnableKNN) EvalPredictions() ([]int, error) {
+	if m.evalIx == nil {
+		return nil, fmt.Errorf("ml: EvalPredictions without AttachEval: %w", nderr.ErrEmptyInput)
+	}
+	return m.evalIx.PredictBatchLabels(m.K, m.evalIx.Train.Y)
+}
+
+// EvalAccuracy scores EvalPredictions against the attached query labels.
+func (m *UnlearnableKNN) EvalAccuracy() (float64, error) {
+	preds, err := m.EvalPredictions()
+	if err != nil {
+		return 0, err
+	}
+	return Accuracy(m.evalIx.Queries.Y, preds), nil
 }
 
 // Alive returns the number of remaining training examples.
@@ -211,23 +324,20 @@ func (m *UnlearnableLogReg) Unlearn(rows []int) error {
 	if m.data == nil {
 		return fmt.Errorf("ml: Unlearn before Fit")
 	}
-	changed := false
-	for _, r := range rows {
-		if r < 0 || r >= len(m.alive) {
-			return fmt.Errorf("ml: unlearn row %d out of range [0,%d)", r, len(m.alive))
-		}
-		if m.alive[r] {
-			m.alive[r] = false
-			m.nAlive--
-			changed = true
-		}
+	dead, err := normalizeUnlearnRows(m.alive, rows)
+	if err != nil {
+		return err
 	}
-	if m.nAlive == 0 {
-		return fmt.Errorf("ml: unlearning emptied the training set")
-	}
-	if !changed {
+	if len(dead) == 0 {
 		return nil
 	}
+	if len(dead) == m.nAlive {
+		return fmt.Errorf("ml: unlearning would empty the training set: %w", nderr.ErrEmptyInput)
+	}
+	for _, r := range dead {
+		m.alive[r] = false
+	}
+	m.nAlive -= len(dead)
 	// Newton step on the reduced objective from the current parameters
 	dim := len(m.theta)
 	d := dim - 1

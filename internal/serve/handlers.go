@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"math"
 	"net/http"
@@ -244,26 +245,55 @@ func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
 		}
 		variants = append(variants, pipeline.RemovalVariant{Name: v.Name, Remove: ids})
 	}
+	key := whatifKey{dataset: d.id, variants: variantsFingerprint(variants)}
 	s.compute(w, r, "ServeWhatIf", req.Async, d.train.Len(), req.Workers, func() (any, error) {
-		ft, err := s.featurizedFor(d)
-		if err != nil {
-			return nil, err
-		}
-		results, err := pipeline.WhatIfRemovalsParallel(ft, variants, newModel, d.valid, req.Workers)
-		if err != nil {
-			return nil, err
-		}
-		resp := WhatIfResponse{Dataset: d.id, Baseline: results[0].Metric}
-		for _, res := range results[1:] {
-			out := WhatIfResultJSON{Name: res.Name, Surviving: res.Surviving}
-			if !math.IsNaN(res.Metric) {
-				m := res.Metric
-				out.Metric = &m
+		// Cached like scores: identical batches (any worker count — results
+		// are worker-invariant) share one evaluation; concurrent identical
+		// requests share one build (singleflight).
+		return s.whatifs.GetOrBuild(key, func() (WhatIfResponse, error) {
+			ft, err := s.featurizedFor(d)
+			if err != nil {
+				return WhatIfResponse{}, err
 			}
-			resp.Results = append(resp.Results, out)
-		}
-		return resp, nil
+			results, err := pipeline.WhatIfRemovalsParallel(ft, variants, newModel, d.valid, req.Workers)
+			if err != nil {
+				return WhatIfResponse{}, err
+			}
+			resp := WhatIfResponse{Dataset: d.id, Baseline: results[0].Metric}
+			for _, res := range results[1:] {
+				out := WhatIfResultJSON{Name: res.Name, Surviving: res.Surviving}
+				if !math.IsNaN(res.Metric) {
+					m := res.Metric
+					out.Metric = &m
+				}
+				resp.Results = append(resp.Results, out)
+			}
+			return resp, nil
+		})
 	})
+}
+
+// variantsFingerprint hashes the ordered variant list (names and removal
+// rows) for the what-if response cache key.
+func variantsFingerprint(variants []pipeline.RemovalVariant) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	write := func(v uint64) {
+		for i := range b {
+			b[i] = byte(v >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	write(uint64(len(variants)))
+	for _, v := range variants {
+		io.WriteString(h, v.Name)
+		write(uint64(len(v.Remove)))
+		for _, id := range v.Remove {
+			io.WriteString(h, id.Table)
+			write(uint64(int64(id.Row)))
+		}
+	}
+	return h.Sum64()
 }
 
 // strategyByName maps wire names to cleaning strategies. Seeded

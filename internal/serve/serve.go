@@ -103,17 +103,29 @@ type Server struct {
 
 	draining atomic.Bool
 
-	// Derived-artifact caches, both singleflight (internal/store):
+	// Derived-artifact caches, all singleflight (internal/store):
 	// featurized tables keyed by dataset id, score vectors keyed by
-	// (dataset id, k). The neighbor-index store inside internal/
-	// importance is shared process-wide and needs no wiring here.
+	// (dataset id, k), what-if responses keyed by (dataset id, variant
+	// fingerprint). The neighbor-index store inside internal/importance is
+	// shared process-wide and needs no wiring here.
 	featurized *store.Store[string, *pipeline.Featurized]
 	scores     *store.Store[scoreKey, []float64]
+	whatifs    *store.Store[whatifKey, WhatIfResponse]
 }
 
 type scoreKey struct {
 	dataset string
 	k       int
+}
+
+// whatifKey addresses one what-if batch: the dataset id plus an FNV-1a
+// fingerprint of the ordered variant names and removal rows. The worker
+// count is deliberately NOT part of the key — results are bit-for-bit
+// worker-invariant (the pipeline concurrency contract), so requests
+// differing only in workers share one cached response.
+type whatifKey struct {
+	dataset  string
+	variants uint64
 }
 
 // NewServer creates a serving core with the given configuration.
@@ -126,6 +138,7 @@ func NewServer(cfg Config) *Server {
 		datasets:   map[string]*dataset{},
 		featurized: store.New[string, *pipeline.Featurized]("serve_featurized", 8),
 		scores:     store.New[scoreKey, []float64]("serve_scores", 32),
+		whatifs:    store.New[whatifKey, WhatIfResponse]("serve_whatif", 32),
 	}
 }
 

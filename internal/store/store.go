@@ -27,6 +27,7 @@
 //	<name>_misses_total     build started
 //	<name>_waits_total      caller blocked on another caller's build
 //	<name>_evictions_total  LRU eviction (bound or capacity shrink)
+//	<name>_puts_total       pre-built artifact inserted via Put
 //	<name>_entries          gauge: current entry count
 //	<name>_inflight         gauge: builds currently running
 package store
@@ -138,6 +139,32 @@ func (s *Store[K, V]) GetOrBuild(key K, build func() (V, error)) (V, error) {
 		return zero, err
 	}
 	return val, nil
+}
+
+// Put inserts an already-built artifact at the most-recently-used end,
+// reporting whether it was stored. A key that is already present — ready
+// OR in flight — is left untouched (first build wins, preserving the
+// singleflight invariant that a key's value never changes once published);
+// the existing entry is only refreshed in recency. Used by the delta
+// derivation path, where a child artifact is produced as a by-product of
+// its parent rather than by a flight of its own.
+//
+// Metric: <name>_puts_total counts successful inserts.
+func (s *Store[K, V]) Put(key K, val V) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.entries[key]; ok {
+		s.touchLocked(key)
+		return false
+	}
+	e := &entry[V]{ready: make(chan struct{}), val: val}
+	close(e.ready)
+	s.entries[key] = e
+	s.order = append(s.order, key)
+	obs.Inc(s.name + "_puts_total")
+	s.trimLocked()
+	s.gaugesLocked()
+	return true
 }
 
 // Get returns the ready artifact for key without building. In-flight

@@ -52,10 +52,12 @@ func SetNeighborSearch(cfg NeighborSearchConfig) { importance.SetNeighborSearch(
 // NeighborSearch returns the currently configured shared search config.
 func NeighborSearch() NeighborSearchConfig { return importance.NeighborSearch() }
 
-// SetNeighborIndexCacheCapacity bounds the shared neighbor-index FIFO cache
-// (minimum 1; default 4) and returns the previous capacity. Shrinking
-// evicts the oldest entries immediately.
-func SetNeighborIndexCacheCapacity(n int) int { return importance.SetIndexCacheCapacity(n) }
+// SetNeighborIndexCacheCapacity bounds the shared neighbor-index LRU cache
+// (default 4) and returns the previous capacity. Shrinking evicts the
+// least recently used entries immediately. n < 1 is rejected with a
+// wrapped ErrDegenerateInput, leaving the capacity unchanged (the current
+// value is returned alongside the error).
+func SetNeighborIndexCacheCapacity(n int) (int, error) { return importance.SetIndexCacheCapacity(n) }
 
 // NeighborIndexCacheCapacity returns the current shared-cache capacity.
 func NeighborIndexCacheCapacity() int { return importance.IndexCacheCapacity() }

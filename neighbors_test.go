@@ -63,7 +63,10 @@ func TestFacadeNeighborSearchSettings(t *testing.T) {
 		t.Error("facade and importance disagree on the active config")
 	}
 
-	prev := SetNeighborIndexCacheCapacity(2)
+	prev, err := SetNeighborIndexCacheCapacity(2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer SetNeighborIndexCacheCapacity(prev)
 	if got := NeighborIndexCacheCapacity(); got != 2 {
 		t.Fatalf("capacity = %d, want 2", got)

@@ -3,10 +3,12 @@
 # them as JSON (name, ns/op, allocs/op, B/op) so the perf trajectory is
 # tracked PR-over-PR. Each file carries a "meta" header (git SHA, Go
 # version, GOMAXPROCS, UTC date) so numbers from different machines and
-# commits stay comparable. Three series are emitted: the importance/pipeline
+# commits stay comparable. Four series are emitted: the importance/pipeline
 # hot paths (BENCH_importance.json), the what-if fan-out (BENCH_whatif.json),
-# and the exact-vs-IVF neighbor-search gate (BENCH_neighbor.json, which also
-# records the recall@10 of the IVF run). `make bench` runs this.
+# the exact-vs-IVF neighbor-search gate (BENCH_neighbor.json, which also
+# records the recall@10 of the IVF run), and the delta-vs-rebuild
+# incremental-maintenance gate (BENCH_incremental.json). `make bench` runs
+# this.
 #
 # Usage: sh scripts/bench.sh [importance-output.json]
 #   NDE_BENCHTIME=2s   benchtime per benchmark (default 1s)
@@ -70,3 +72,4 @@ END { print "\n  ]\n}" }
 run_bench "$filter" "$out"
 run_bench "^BenchmarkWhatIf$" "$outdir/BENCH_whatif.json"
 run_bench "^BenchmarkNeighborTopK$" "$outdir/BENCH_neighbor.json"
+run_bench "^BenchmarkIncremental$" "$outdir/BENCH_incremental.json"

@@ -35,7 +35,7 @@ extract() {
 }
 
 status=0
-for base in BENCH_importance.json BENCH_whatif.json BENCH_neighbor.json; do
+for base in BENCH_importance.json BENCH_whatif.json BENCH_neighbor.json BENCH_incremental.json; do
     if [ ! -f "$base" ]; then
         echo "--  $base: no checked-in baseline, skipping (run 'make bench' to record one)"
         continue
